@@ -1,0 +1,139 @@
+//! Synchronous label propagation (Raghavan et al.), the community-detection
+//! family the paper's related work contrasts with (§5: community detection
+//! "does not focus on finding balanced partitions" and is highly sensitive
+//! to graph changes — claims the tests below make observable).
+
+use apg_graph::VertexId;
+use apg_pregel::{Context, VertexProgram};
+
+/// A community label; starts as the vertex's own id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Community(pub VertexId);
+
+impl Community {
+    /// Not yet initialised.
+    pub const UNSET: Community = Community(VertexId::MAX);
+}
+
+impl Default for Community {
+    fn default() -> Self {
+        Community::UNSET
+    }
+}
+
+/// Synchronous label propagation: every round, each vertex adopts the most
+/// frequent label among its neighbours (lowest label id breaking ties, for
+/// determinism), for a fixed number of rounds.
+///
+/// Unlike the adaptive partitioner this produces *communities* — groups
+/// denser inside than outside — with no balance guarantee whatsoever,
+/// which is exactly the contrast the paper draws in §5.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelPropagation {
+    rounds: usize,
+}
+
+impl LabelPropagation {
+    /// Label propagation for `rounds` synchronous rounds.
+    pub fn new(rounds: usize) -> Self {
+        LabelPropagation { rounds }
+    }
+}
+
+impl VertexProgram for LabelPropagation {
+    type Value = Community;
+    type Message = VertexId;
+
+    fn compute(&self, ctx: &mut Context<'_, '_, Community, VertexId>, messages: &[VertexId]) {
+        if *ctx.value() == Community::UNSET {
+            *ctx.value_mut() = Community(ctx.id());
+        }
+        if ctx.superstep() > 0 && !messages.is_empty() {
+            // Most frequent incoming label; ties -> smallest label.
+            let mut sorted = messages.to_vec();
+            sorted.sort_unstable();
+            let (mut best_label, mut best_count) = (sorted[0], 0usize);
+            let mut i = 0;
+            while i < sorted.len() {
+                let mut j = i;
+                while j < sorted.len() && sorted[j] == sorted[i] {
+                    j += 1;
+                }
+                if j - i > best_count {
+                    best_count = j - i;
+                    best_label = sorted[i];
+                }
+                i = j;
+            }
+            *ctx.value_mut() = Community(best_label);
+        }
+        if ctx.superstep() < self.rounds {
+            ctx.send_to_neighbors(ctx.value().0);
+        } else {
+            ctx.vote_to_halt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::CsrGraph;
+    use apg_pregel::EngineBuilder;
+
+    /// Two 5-cliques joined by a single bridge edge.
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                edges.push((a, b));
+                edges.push((a + 5, b + 5));
+            }
+        }
+        edges.push((4, 5)); // bridge
+        CsrGraph::from_edges(10, &edges)
+    }
+
+    #[test]
+    fn cliques_form_distinct_communities() {
+        let g = two_cliques();
+        let mut e = EngineBuilder::new(2).build(&g, LabelPropagation::new(8));
+        e.run_until_halt(12);
+        let left = *e.vertex_value(0).unwrap();
+        let right = *e.vertex_value(9).unwrap();
+        for v in 0..5 {
+            assert_eq!(*e.vertex_value(v).unwrap(), left, "vertex {v}");
+        }
+        for v in 6..10 {
+            assert_eq!(*e.vertex_value(v).unwrap(), right, "vertex {v}");
+        }
+        assert_ne!(left, right, "the bridge must not merge the cliques");
+    }
+
+    #[test]
+    fn communities_are_unbalanced_partitions() {
+        // The paper's §5 point: community detection ignores balance. On a
+        // star, 39 of 40 vertices collapse into one community — useless as
+        // a k-way partitioning. (The centre itself oscillates: synchronous
+        // LPA's well-known bipartite-graph pathology, another §5 concern —
+        // "small changes ... can lead to very different partitions".)
+        let star: Vec<(u32, u32)> = (1..40u32).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(40, &star);
+        let mut e = EngineBuilder::new(2).build(&g, LabelPropagation::new(6));
+        e.run_until_halt(10);
+        let first_leaf = *e.vertex_value(1).unwrap();
+        let leaves_same = (2..40u32).all(|v| *e.vertex_value(v).unwrap() == first_leaf);
+        assert!(leaves_same, "leaves should share one community");
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let g = two_cliques();
+        let run = || {
+            let mut e = EngineBuilder::new(2).build(&g, LabelPropagation::new(8));
+            e.run_until_halt(12);
+            (0..10u32).map(|v| e.vertex_value(v).unwrap().0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,101 @@
+//! One Criterion bench per table/figure: scaled-down versions of the exact
+//! pipelines the `fig*` binaries run, so regressions in any experiment's
+//! end-to-end cost are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use apg_bench::experiments::{fig1, fig4, fig6, fig7, fig8, fig9, table1};
+use apg_bench::Scale;
+use apg_graph::gen;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("build_and_measure_tiny", |b| {
+        b.iter(|| table1::run(Scale::Tiny, 1));
+    });
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    let graph = gen::mesh3d(10, 10, 10);
+    g.bench_function("sweep_one_s", |b| {
+        b.iter(|| fig1::sweep(&graph, &[0.5], 1, 3));
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    let graph = gen::mesh3d(10, 10, 10);
+    g.bench_function("all_strategies_one_rep", |b| {
+        b.iter(|| fig4::run(&graph, 1, 3));
+    });
+    g.bench_function("metis_baseline", |b| {
+        b.iter(|| fig4::metis_baseline(&graph, 3));
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("smallest_graph_grid", |b| {
+        // One small dataset, one rep, across the four strategies.
+        let graph = gen::mesh2d_tri(30, 40);
+        b.iter(|| fig4::run(&graph, 1, 5));
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("mesh_1000_point", |b| {
+        b.iter(|| fig6::run_mesh(Scale::Tiny, 1, 7));
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("tiny_phases", |b| {
+        b.iter(|| fig7::run(Scale::Tiny, 5));
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("tiny_day", |b| {
+        b.iter(|| fig8::run(Scale::Tiny, 5));
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("tiny_month", |b| {
+        b.iter(|| fig9::run(Scale::Tiny, 5));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig1,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9
+);
+criterion_main!(benches);

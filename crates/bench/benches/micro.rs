@@ -1,0 +1,105 @@
+//! Micro-benchmarks of the hot paths: the per-vertex decision kernel, quota
+//! accounting, whole iterations of the logical partitioner, the METIS-like
+//! baseline, and graph construction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use apg_core::{AdaptiveConfig, AdaptivePartitioner, DecisionKernel, QuotaRule, QuotaTable};
+use apg_graph::gen;
+use apg_partition::{CapacityModel, InitialStrategy};
+
+fn bench_decision_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_kernel");
+    for degree in [6usize, 32, 256] {
+        let neighbors: Vec<u16> = (0..degree).map(|i| (i % 9) as u16).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &neighbors, |b, nbrs| {
+            let mut kernel = DecisionKernel::new(9, false);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| kernel.decide(black_box(0), nbrs.iter().copied(), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quota_table(c: &mut Criterion) {
+    let remaining: Vec<usize> = (0..64).map(|i| 100 + i).collect();
+    c.bench_function("quota_table_build_k64", |b| {
+        b.iter(|| QuotaTable::new(QuotaRule::PerSourceSplit, black_box(&remaining)));
+    });
+    c.bench_function("quota_consume", |b| {
+        let mut q = QuotaTable::new(QuotaRule::PerSourceSplit, &remaining);
+        b.iter(|| q.try_consume(black_box(3), black_box(7)));
+    });
+}
+
+fn bench_iterate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner_iterate");
+    group.sample_size(10);
+    for side in [10usize, 20] {
+        let graph = gen::mesh3d(side, side, side);
+        group.bench_with_input(
+            BenchmarkId::new("mesh", side * side * side),
+            &graph,
+            |b, g| {
+                let cfg = AdaptiveConfig::new(9);
+                let mut p = AdaptivePartitioner::with_strategy(g, InitialStrategy::Hash, &cfg, 1);
+                b.iter(|| p.iterate());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_metis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metis_partition");
+    group.sample_size(10);
+    let graph = gen::mesh3d(12, 12, 12);
+    group.bench_function("mesh_1728_k9", |b| {
+        b.iter(|| apg_metis::partition(black_box(&graph), 9, 1.10, 3));
+    });
+    group.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    group.sample_size(10);
+    group.bench_function("mesh3d_27k", |b| b.iter(|| gen::mesh3d(30, 30, 30)));
+    group.bench_function("holme_kim_10k", |b| b.iter(|| gen::holme_kim(10_000, 5, 0.1, 7)));
+    group.finish();
+}
+
+fn bench_cut_metrics(c: &mut Criterion) {
+    let graph = gen::mesh3d(20, 20, 20);
+    let caps = CapacityModel::vertex_balanced(8000, 9, 1.10);
+    let p = InitialStrategy::Hash.assign(&graph, &caps, 1);
+    c.bench_function("cut_edges_8k_mesh", |b| {
+        b.iter(|| apg_partition::cut_edges(black_box(&graph), black_box(&p)));
+    });
+}
+
+fn bench_initial_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("initial_strategies");
+    group.sample_size(10);
+    let graph = gen::mesh3d(16, 16, 16);
+    let caps = CapacityModel::vertex_balanced(4096, 9, 1.10);
+    for s in InitialStrategy::ALL {
+        group.bench_function(s.label(), |b| {
+            b.iter(|| s.assign(black_box(&graph), &caps, 5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decision_kernel,
+    bench_quota_table,
+    bench_iterate,
+    bench_metis,
+    bench_graph_construction,
+    bench_cut_metrics,
+    bench_initial_strategies
+);
+criterion_main!(benches);

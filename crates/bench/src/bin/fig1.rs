@@ -1,0 +1,13 @@
+//! Regenerates Figure 1 (willingness-to-move sweep).
+
+use apg_bench::experiments::{fig1, headline_graphs};
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    for (name, graph) in headline_graphs(args.scale, args.seed) {
+        let points = fig1::sweep(&graph, &fig1::S_VALUES, args.reps(), args.seed);
+        fig1::print(name, &points);
+        println!();
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4 (initial vs iterative cut ratio vs METIS).
+
+use apg_bench::experiments::{fig4, headline_graphs};
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    for (name, graph) in headline_graphs(args.scale, args.seed) {
+        let rows = fig4::run(&graph, args.reps(), args.seed);
+        let metis = fig4::metis_baseline(&graph, args.seed);
+        fig4::print(name, &rows, metis);
+        println!();
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 5 (cut ratio across the dataset zoo).
+
+use apg_bench::experiments::fig5;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let rows = fig5::run(args.scale, args.reps(), args.seed);
+    fig5::print(&rows);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 6 (scalability of cut ratio and convergence time).
+
+use apg_bench::experiments::fig6;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let mesh = fig6::run_mesh(args.scale, args.reps(), args.seed);
+    let plaw = fig6::run_powerlaw(args.scale, args.reps(), args.seed);
+    fig6::print(&mesh, &plaw);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8 (Twitter stream, hash vs adaptive superstep time).
+
+use apg_bench::experiments::fig8;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let points = fig8::run(args.scale, args.seed);
+    fig8::print(&points);
+}

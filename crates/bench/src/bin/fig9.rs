@@ -1,0 +1,10 @@
+//! Regenerates Figure 9 (CDR cliques, dynamic vs static over four weeks).
+
+use apg_bench::experiments::fig9;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let weeks = fig9::run(args.scale, args.seed);
+    fig9::print(&weeks);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 1 (dataset inventory).
+
+use apg_bench::experiments::table1;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let rows = table1::run(args.scale, args.seed);
+    table1::print(&rows);
+}

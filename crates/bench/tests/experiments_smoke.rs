@@ -1,0 +1,123 @@
+//! Tiny-scale runs of every experiment driver, asserting the paper's
+//! qualitative outcomes end-to-end (generator -> engine -> metrics).
+
+use apg_bench::experiments::{fig1, fig4, fig5, fig6, fig7, fig8, fig9, table1};
+use apg_bench::Scale;
+
+#[test]
+fn table1_rows_match_paper_inventory() {
+    let rows = table1::run(Scale::Tiny, 1);
+    assert!(!rows.is_empty());
+    for r in &rows {
+        let dv = (r.built_v as f64 - r.paper_v as f64).abs() / r.paper_v as f64;
+        assert!(dv < 0.01, "{}: |V| off by {dv}", r.name);
+        assert!(r.built_e > 0);
+    }
+}
+
+#[test]
+fn fig1_sweep_produces_monotone_series_ends() {
+    let graph = apg_graph::gen::mesh3d(12, 12, 12);
+    let points = fig1::sweep(&graph, &[0.1, 0.8], 3, 3);
+    assert_eq!(points.len(), 2);
+    assert!(
+        points[0].convergence_time.mean > 1.5 * points[1].convergence_time.mean,
+        "s = 0.1 ({} iters) must converge much more slowly than s = 0.8 ({} iters)",
+        points[0].convergence_time.mean,
+        points[1].convergence_time.mean
+    );
+}
+
+#[test]
+fn fig4_iterative_improves_hash_and_metis_wins_meshes() {
+    let graph = apg_graph::gen::mesh3d(8, 8, 8);
+    let rows = fig4::run(&graph, 1, 3);
+    let hash = rows
+        .iter()
+        .find(|r| r.strategy.label() == "HSH")
+        .expect("HSH row");
+    assert!(hash.initial.mean - hash.iterative.mean > 0.2);
+    let metis = fig4::metis_baseline(&graph, 3);
+    assert!(metis < hash.iterative.mean);
+}
+
+#[test]
+fn fig5_covers_both_graph_families() {
+    let rows = fig5::run(Scale::Tiny, 1, 5);
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert_eq!(row.cuts.len(), 4);
+        for (s, summary) in &row.cuts {
+            assert!(
+                summary.mean > 0.0 && summary.mean <= 1.0,
+                "{}/{s}: cut {}",
+                row.graph,
+                summary.mean
+            );
+        }
+    }
+}
+
+#[test]
+fn fig6_mesh_cut_stays_flat() {
+    let mesh = fig6::run_mesh(Scale::Tiny, 1, 7);
+    assert_eq!(mesh.len(), 2);
+    assert!(
+        (mesh[0].cut_ratio.mean - mesh[1].cut_ratio.mean).abs() < 0.1,
+        "mesh cut ratio should be roughly size-independent"
+    );
+}
+
+#[test]
+fn fig7_phases_have_the_papers_shape() {
+    let result = fig7::run(Scale::Tiny, 5);
+    let a = &result.phase_a;
+    assert!(a.len() > 10);
+    // Cuts drop markedly from the hash start.
+    let first = a.first().unwrap().cut_edges as f64;
+    let last = a.last().unwrap().cut_edges as f64;
+    assert!(last < 0.65 * first, "phase a cuts {first} -> {last}");
+    // Migration activity decays to zero (convergence).
+    assert_eq!(a.last().unwrap().migrations, 0);
+    // Time spikes early (migration burst) then lands below the hash baseline.
+    let peak = a.iter().map(|p| p.time_norm).fold(0.0f64, f64::max);
+    assert!(peak > 1.5, "no migration spike: peak x{peak}");
+    assert!(a.last().unwrap().time_norm < 1.0, "no speedup at convergence");
+    // Phase b: the burst is absorbed back to similar cut levels.
+    let b = &result.phase_b;
+    assert!(b.last().unwrap().cut_edges as f64 <= b.first().unwrap().cut_edges as f64);
+}
+
+#[test]
+fn fig8_adaptive_beats_hash_by_the_evening() {
+    let points = fig8::run(Scale::Tiny, 5);
+    let evening = points.last().unwrap();
+    assert!(
+        evening.hash_time > 1.3 * evening.adaptive_time,
+        "adaptive should clearly win by day end: hash {} vs adaptive {}",
+        evening.hash_time,
+        evening.adaptive_time
+    );
+}
+
+#[test]
+fn fig9_dynamic_dominates_static() {
+    let weeks = fig9::run(Scale::Tiny, 5);
+    assert_eq!(weeks.len(), 4);
+    for w in &weeks {
+        assert!(
+            w.dynamic_cut < 0.7 * w.static_cut,
+            "week {}: dynamic cut {} vs static {}",
+            w.week,
+            w.dynamic_cut,
+            w.static_cut
+        );
+    }
+    let last = weeks.last().unwrap();
+    assert!(
+        last.dynamic_time.mean < 0.8 * last.static_time.mean,
+        "dynamic {} should beat static {} on time",
+        last.dynamic_time.mean,
+        last.static_time.mean
+    );
+}

@@ -1,0 +1,204 @@
+//! The per-vertex migration decision kernel (paper §2.1).
+//!
+//! "At each iteration, a vertex will decide to migrate to the partition
+//! where the highest number of its neighbouring vertices are. [...] Since
+//! migrating a vertex potentially introduces an overhead, the heuristic will
+//! preferentially choose to stay in the current partition if it is one of
+//! the candidates."
+//!
+//! The kernel is shared verbatim between the logical-level partitioner in
+//! this crate and the distributed Pregel integration in `apg-pregel`, so
+//! the two realisations cannot drift apart.
+
+use rand::Rng;
+
+use apg_partition::PartitionId;
+
+/// Outcome of one vertex's migration evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationDecision {
+    /// Remain in the current partition.
+    Stay,
+    /// Request migration to the given partition.
+    Migrate(PartitionId),
+}
+
+/// Reusable candidate-selection state.
+///
+/// Holds `O(k)` scratch space so evaluating a vertex costs
+/// `O(degree + |candidates|)` with no allocation, the property that makes
+/// the heuristic "efficiently computed" at scale (paper §2).
+///
+/// # Example
+///
+/// ```
+/// use apg_core::{DecisionKernel, MigrationDecision};
+/// use rand::SeedableRng;
+///
+/// let mut kernel = DecisionKernel::new(3, false);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// // Vertex in partition 0 with neighbours 2:1 in favour of partition 2.
+/// let decision = kernel.decide(0, [2, 2, 1].into_iter(), &mut rng);
+/// assert_eq!(decision, MigrationDecision::Migrate(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionKernel {
+    counts: Vec<u32>,
+    touched: Vec<PartitionId>,
+    candidates: Vec<PartitionId>,
+    count_self: bool,
+}
+
+impl DecisionKernel {
+    /// Creates a kernel for `k` partitions.
+    ///
+    /// `count_self` implements the literal `Γ(v,t) = {v} ∪ N(v)` reading of
+    /// the paper's candidate definition (see
+    /// [`crate::AdaptiveConfig::count_self`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: PartitionId, count_self: bool) -> Self {
+        assert!(k > 0, "need at least one partition");
+        DecisionKernel {
+            counts: vec![0; k as usize],
+            touched: Vec::with_capacity(k as usize),
+            candidates: Vec::with_capacity(k as usize),
+            count_self,
+        }
+    }
+
+    /// Evaluates the greedy heuristic for one vertex.
+    ///
+    /// `neighbor_partitions` yields the current partition of each neighbour
+    /// (duplicates expected — one entry per neighbour). Ties among the
+    /// highest-count partitions are broken uniformly at random, except that
+    /// the current partition always wins ties ("preferentially choose to
+    /// stay").
+    pub fn decide<R: Rng, I>(
+        &mut self,
+        current: PartitionId,
+        neighbor_partitions: I,
+        rng: &mut R,
+    ) -> MigrationDecision
+    where
+        I: Iterator<Item = PartitionId>,
+    {
+        // Count neighbours per partition using a touched-list so clearing is
+        // O(|touched|), not O(k).
+        for p in neighbor_partitions {
+            if self.counts[p as usize] == 0 {
+                self.touched.push(p);
+            }
+            self.counts[p as usize] += 1;
+        }
+        if self.count_self {
+            if self.counts[current as usize] == 0 {
+                self.touched.push(current);
+            }
+            self.counts[current as usize] += 1;
+        }
+
+        let mut best = 0u32;
+        for &p in &self.touched {
+            best = best.max(self.counts[p as usize]);
+        }
+        let decision = if best == 0 {
+            // Isolated vertex: cand(v, t) degenerates to the current
+            // partition (v ∈ Γ(v, t)).
+            MigrationDecision::Stay
+        } else if self.counts[current as usize] == best {
+            MigrationDecision::Stay
+        } else {
+            self.candidates.clear();
+            for &p in &self.touched {
+                if self.counts[p as usize] == best {
+                    self.candidates.push(p);
+                }
+            }
+            let pick = if self.candidates.len() == 1 {
+                self.candidates[0]
+            } else {
+                self.candidates[rng.gen_range(0..self.candidates.len())]
+            };
+            MigrationDecision::Migrate(pick)
+        };
+
+        for &p in &self.touched {
+            self.counts[p as usize] = 0;
+        }
+        self.touched.clear();
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn migrates_to_majority_partition() {
+        let mut k = DecisionKernel::new(4, false);
+        let d = k.decide(0, [1, 1, 1, 2].into_iter(), &mut rng());
+        assert_eq!(d, MigrationDecision::Migrate(1));
+    }
+
+    #[test]
+    fn prefers_staying_on_tie() {
+        let mut k = DecisionKernel::new(3, false);
+        // 2 neighbours home, 2 in partition 1: tie -> stay.
+        let d = k.decide(0, [0, 0, 1, 1].into_iter(), &mut rng());
+        assert_eq!(d, MigrationDecision::Stay);
+    }
+
+    #[test]
+    fn isolated_vertex_stays() {
+        let mut k = DecisionKernel::new(3, false);
+        assert_eq!(k.decide(2, std::iter::empty(), &mut rng()), MigrationDecision::Stay);
+    }
+
+    #[test]
+    fn random_tie_break_covers_all_candidates() {
+        let mut k = DecisionKernel::new(4, false);
+        let mut seen = std::collections::HashSet::new();
+        let mut r = rng();
+        for _ in 0..200 {
+            match k.decide(0, [1, 1, 2, 2, 3, 3].into_iter(), &mut r) {
+                MigrationDecision::Migrate(p) => {
+                    seen.insert(p);
+                }
+                MigrationDecision::Stay => panic!("majority is elsewhere"),
+            }
+        }
+        assert_eq!(seen, [1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn count_self_adds_stickiness() {
+        // One neighbour elsewhere: without self-count we chase it...
+        let mut without = DecisionKernel::new(2, false);
+        assert_eq!(
+            without.decide(0, [1].into_iter(), &mut rng()),
+            MigrationDecision::Migrate(1)
+        );
+        // ...with self-count it is a tie and we stay.
+        let mut with = DecisionKernel::new(2, true);
+        assert_eq!(with.decide(0, [1].into_iter(), &mut rng()), MigrationDecision::Stay);
+    }
+
+    #[test]
+    fn scratch_state_resets_between_calls() {
+        let mut k = DecisionKernel::new(3, false);
+        let _ = k.decide(0, [1, 1].into_iter(), &mut rng());
+        // A second call must not see counts from the first.
+        let d = k.decide(0, [2].into_iter(), &mut rng());
+        assert_eq!(d, MigrationDecision::Migrate(2));
+    }
+}

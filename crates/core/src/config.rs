@@ -1,0 +1,265 @@
+//! Configuration of the adaptive partitioner.
+
+use serde::{Deserialize, Serialize};
+
+use apg_partition::PartitionId;
+
+/// How per-iteration migration budgets are derived (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuotaRule {
+    /// The paper's worst-case split: partition `j` offers each other
+    /// partition a quota of `C^t(j) / (k - 1)` incoming vertices per
+    /// iteration, so uncoordinated senders can never overflow `j`.
+    PerSourceSplit,
+    /// No quota at all — used by the ablation benches to demonstrate the
+    /// node-densification failure mode the quotas exist to prevent.
+    Unbounded,
+}
+
+/// Where newly streamed-in vertices are placed before the iterative process
+/// adapts them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// `H(v) mod k`, falling back to the least-loaded partition when the
+    /// hashed target is full — the lightweight default of the paper's
+    /// Pregel-like system.
+    HashWithFallback,
+    /// Always the least-loaded partition.
+    LeastLoaded,
+}
+
+/// A linear schedule for the willingness to move: start high to migrate
+/// aggressively while the partitioning is poor, then cool down to damp the
+/// chasing effect near convergence. An extension over the paper's constant
+/// `s = 0.5` (its §2.3 notes the trade-off this schedule navigates).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Anneal {
+    /// Willingness at iteration 0.
+    pub start: f64,
+    /// Willingness from `over_iterations` onwards.
+    pub end: f64,
+    /// Iterations over which to interpolate linearly.
+    pub over_iterations: usize,
+}
+
+impl Anneal {
+    /// Willingness at a given iteration.
+    pub fn at(&self, iteration: usize) -> f64 {
+        if self.over_iterations == 0 || iteration >= self.over_iterations {
+            return self.end;
+        }
+        let t = iteration as f64 / self.over_iterations as f64;
+        self.start + (self.end - self.start) * t
+    }
+}
+
+/// Configuration for [`crate::AdaptivePartitioner`].
+///
+/// Defaults follow the paper's evaluation: willingness to move `s = 0.5`
+/// (§2.3), capacity 110% of the balanced load (§4.2.1), convergence after
+/// 30 migration-free iterations (§2.3).
+///
+/// # Example
+///
+/// ```
+/// use apg_core::AdaptiveConfig;
+///
+/// let config = AdaptiveConfig::new(9).willingness(0.8).capacity_factor(1.2);
+/// assert_eq!(config.num_partitions, 9);
+/// assert!((config.willingness - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Number of partitions `k`.
+    pub num_partitions: PartitionId,
+    /// Willingness to move `s ∈ (0, 1]`: each vertex evaluates migration
+    /// with this probability per iteration.
+    pub willingness: f64,
+    /// Per-partition capacity as a factor of the balanced load (`>= 1.0`).
+    pub capacity_factor: f64,
+    /// Iterations without any migration before declaring convergence.
+    pub convergence_window: usize,
+    /// Hard iteration cap for [`crate::AdaptivePartitioner::run_to_convergence`].
+    pub max_iterations: usize,
+    /// Migration budget rule.
+    pub quota_rule: QuotaRule,
+    /// Placement of newly inserted vertices.
+    pub placement: PlacementPolicy,
+    /// Optional annealing schedule overriding the constant willingness.
+    pub anneal: Option<Anneal>,
+    /// Balance partitions on edge endpoints (degree mass) instead of vertex
+    /// counts — the extension the paper proposes in §6 ("many graph
+    /// algorithms like PageRank have a complexity that is proportional to
+    /// the number of edges"). Capacities and quotas are then denominated in
+    /// degree-mass units.
+    pub balance_edges: bool,
+    /// Count the vertex itself towards its current partition when scoring
+    /// candidates (the literal reading of the paper's `Γ(v,t) = {v} ∪ N(v)`;
+    /// adds one unit of stickiness). Default `false`, matching the prose
+    /// ("the partition where the highest number of its *neighbouring*
+    /// vertices are") — the ablation bench compares both.
+    pub count_self: bool,
+}
+
+impl AdaptiveConfig {
+    /// Paper defaults for `k` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: PartitionId) -> Self {
+        assert!(k > 0, "need at least one partition");
+        AdaptiveConfig {
+            num_partitions: k,
+            willingness: 0.5,
+            capacity_factor: 1.10,
+            convergence_window: 30,
+            max_iterations: 1000,
+            quota_rule: QuotaRule::PerSourceSplit,
+            placement: PlacementPolicy::HashWithFallback,
+            anneal: None,
+            balance_edges: false,
+            count_self: false,
+        }
+    }
+
+    /// Sets the willingness to move `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= s <= 1.0`. (`s = 0` disables migration — the
+    /// paper notes it "causes no migration whatsoever"; allowed for
+    /// experiments.)
+    pub fn willingness(mut self, s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&s), "s must be in [0, 1]");
+        self.willingness = s;
+        self
+    }
+
+    /// Sets the capacity factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn capacity_factor(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "capacity factor below balanced load");
+        self.capacity_factor = factor;
+        self
+    }
+
+    /// Sets the convergence window (the paper uses 30).
+    pub fn convergence_window(mut self, window: usize) -> Self {
+        self.convergence_window = window;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Sets the quota rule.
+    pub fn quota_rule(mut self, rule: QuotaRule) -> Self {
+        self.quota_rule = rule;
+        self
+    }
+
+    /// Sets the placement policy for streamed-in vertices.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets whether a vertex counts itself when scoring its own partition.
+    pub fn count_self(mut self, yes: bool) -> Self {
+        self.count_self = yes;
+        self
+    }
+
+    /// Switches the balance objective to edge endpoints (paper §6).
+    pub fn balance_on_edges(mut self, yes: bool) -> Self {
+        self.balance_edges = yes;
+        self
+    }
+
+    /// Anneals the willingness linearly from `start` to `end` over the
+    /// given number of iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside `[0, 1]`.
+    pub fn anneal_willingness(mut self, start: f64, end: f64, over_iterations: usize) -> Self {
+        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end));
+        self.anneal = Some(Anneal {
+            start,
+            end,
+            over_iterations,
+        });
+        self
+    }
+
+    /// Effective willingness at an iteration (constant unless annealed).
+    pub fn willingness_at(&self, iteration: usize) -> f64 {
+        match &self.anneal {
+            Some(a) => a.at(iteration),
+            None => self.willingness,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = AdaptiveConfig::new(9);
+        assert_eq!(c.num_partitions, 9);
+        assert!((c.willingness - 0.5).abs() < 1e-12);
+        assert!((c.capacity_factor - 1.10).abs() < 1e-12);
+        assert_eq!(c.convergence_window, 30);
+        assert_eq!(c.quota_rule, QuotaRule::PerSourceSplit);
+        assert!(!c.count_self);
+        assert!(!c.balance_edges);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = AdaptiveConfig::new(4)
+            .willingness(1.0)
+            .capacity_factor(2.0)
+            .convergence_window(5)
+            .max_iterations(10)
+            .quota_rule(QuotaRule::Unbounded)
+            .placement(PlacementPolicy::LeastLoaded)
+            .count_self(true);
+        assert_eq!(c.max_iterations, 10);
+        assert_eq!(c.placement, PlacementPolicy::LeastLoaded);
+        assert!(c.count_self);
+    }
+
+    #[test]
+    fn anneal_interpolates_and_clamps() {
+        let c = AdaptiveConfig::new(2).anneal_willingness(0.9, 0.3, 10);
+        assert!((c.willingness_at(0) - 0.9).abs() < 1e-12);
+        assert!((c.willingness_at(5) - 0.6).abs() < 1e-12);
+        assert!((c.willingness_at(10) - 0.3).abs() < 1e-12);
+        assert!((c.willingness_at(1000) - 0.3).abs() < 1e-12);
+        // Constant when no schedule is set.
+        let plain = AdaptiveConfig::new(2);
+        assert!((plain.willingness_at(7) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "s must be in [0, 1]")]
+    fn rejects_bad_willingness() {
+        let _ = AdaptiveConfig::new(2).willingness(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn rejects_zero_partitions() {
+        let _ = AdaptiveConfig::new(0);
+    }
+}

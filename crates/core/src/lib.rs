@@ -1,0 +1,47 @@
+//! The paper's primary contribution: **adaptive iterative partitioning by
+//! decentralised greedy vertex migration** (Vaquero et al., §2).
+//!
+//! Starting from any initial partitioning, every iteration each vertex
+//! decides — from local information only — whether to migrate to the
+//! partition holding most of its neighbours. Per-destination quotas derived
+//! from partition capacities keep the partitioning balanced without global
+//! coordination, and a random "willingness to move" factor `s` breaks the
+//! neighbour-chasing oscillations that would otherwise prevent convergence.
+//! Graph mutations (vertex/edge insertion and removal) feed into the same
+//! iterative process, which is what makes the partitioning *adaptive*.
+//!
+//! The implementation here is the algorithm at the paper's §2 "logical
+//! level": one process iterating over the whole graph, faithful to the
+//! iteration semantics (all decisions in iteration `t` observe the state at
+//! the start of `t`). The distributed realisation with deferred migration
+//! and capacity messaging (§3) lives in the `apg-pregel` crate and reuses
+//! the decision kernel from this one.
+//!
+//! # Example
+//!
+//! ```
+//! use apg_core::{AdaptiveConfig, AdaptivePartitioner};
+//! use apg_graph::gen;
+//! use apg_partition::InitialStrategy;
+//!
+//! let graph = gen::mesh3d(10, 10, 10);
+//! let config = AdaptiveConfig::new(9); // k = 9, s = 0.5, capacity 110%
+//! let mut partitioner =
+//!     AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &config, 42);
+//! let report = partitioner.run_to_convergence();
+//! assert!(report.final_cut_ratio() < 0.5 * report.initial_cut_ratio());
+//! ```
+
+pub mod candidates;
+pub mod config;
+pub mod partitioner;
+pub mod quota;
+pub mod runner;
+pub mod stats;
+
+pub use candidates::{DecisionKernel, MigrationDecision};
+pub use config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
+pub use partitioner::{AdaptivePartitioner, IterationStats};
+pub use quota::QuotaTable;
+pub use runner::ConvergenceReport;
+pub use stats::{mean_and_sem, Summary};

@@ -1,0 +1,631 @@
+//! The adaptive iterative vertex-migration partitioner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use apg_graph::{DynGraph, Graph, VertexId};
+use apg_partition::{
+    cut_edges, initial::hash_vertex, CapacityModel, InitialStrategy, PartitionId, Partitioning,
+};
+
+use crate::candidates::{DecisionKernel, MigrationDecision};
+use crate::config::{AdaptiveConfig, PlacementPolicy};
+use crate::quota::QuotaTable;
+use crate::runner::ConvergenceReport;
+
+/// Metrics recorded after each iteration of the algorithm.
+///
+/// These are exactly the series the paper plots in Figure 7: number of cut
+/// edges, number of migrations, and the graph population they refer to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Vertices migrated during this iteration.
+    pub migrations: usize,
+    /// Cut edges after this iteration.
+    pub cut_edges: usize,
+    /// Live vertices after this iteration.
+    pub live_vertices: usize,
+    /// Edges after this iteration.
+    pub num_edges: usize,
+    /// Largest partition size after this iteration.
+    pub max_partition: usize,
+}
+
+impl IterationStats {
+    /// Cut edges normalised by total edges (0 for edgeless graphs).
+    pub fn cut_ratio(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.num_edges as f64
+        }
+    }
+}
+
+/// How capacities are maintained as the graph evolves.
+#[derive(Debug, Clone)]
+enum CapacityMode {
+    /// Recomputed every iteration as `factor x` the balanced load of the
+    /// *current* live population — capacities track graph growth, which is
+    /// what lets the heuristic absorb the paper's +10% forest-fire burst.
+    Auto,
+    /// Fixed, caller-supplied limits.
+    Fixed(CapacityModel),
+}
+
+/// The paper's adaptive partitioner at the logical level (§2).
+///
+/// Owns a [`DynGraph`] and its [`Partitioning`] and advances them one
+/// iteration at a time; graph mutations may be interleaved with iterations,
+/// which is the "adaptive" part. The cut-edge count is maintained
+/// incrementally, so per-iteration cost is `O(|V| + Σ deg(migrants))`, not
+/// `O(|E|)`.
+///
+/// # Example
+///
+/// ```
+/// use apg_core::{AdaptiveConfig, AdaptivePartitioner};
+/// use apg_graph::gen;
+/// use apg_partition::InitialStrategy;
+///
+/// let g = gen::mesh3d(8, 8, 8);
+/// let cfg = AdaptiveConfig::new(4);
+/// let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Random, &cfg, 7);
+/// let before = p.cut_edges();
+/// p.run_for(50);
+/// assert!(p.cut_edges() < before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptivePartitioner {
+    graph: DynGraph,
+    partitioning: Partitioning,
+    config: AdaptiveConfig,
+    capacity_mode: CapacityMode,
+    kernel: DecisionKernel,
+    rng: StdRng,
+    cut: usize,
+    /// Per-partition degree mass (edge endpoints), maintained for the
+    /// edge-balanced extension and load diagnostics.
+    degree_mass: Vec<usize>,
+    iteration: usize,
+    quiet_streak: usize,
+    pending: Vec<(VertexId, PartitionId)>,
+}
+
+impl AdaptivePartitioner {
+    /// Creates a partitioner over a copy of `graph`, initialised with the
+    /// given strategy and automatic capacities
+    /// (`config.capacity_factor x` balanced load, tracking graph size).
+    pub fn with_strategy<G: Graph>(
+        graph: &G,
+        strategy: InitialStrategy,
+        config: &AdaptiveConfig,
+        seed: u64,
+    ) -> Self {
+        let caps = CapacityModel::vertex_balanced(
+            graph.num_live_vertices(),
+            config.num_partitions,
+            config.capacity_factor,
+        );
+        let partitioning = strategy.assign(graph, &caps, seed);
+        Self::from_parts(to_dyn(graph), partitioning, config.clone(), CapacityMode::Auto, seed)
+    }
+
+    /// Creates a partitioner from an existing assignment (e.g. produced by
+    /// `apg-metis`, or resumed from a snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from the graph's vertex-slot
+    /// count or its `k` differs from the config's.
+    pub fn from_partitioning<G: Graph>(
+        graph: &G,
+        partitioning: Partitioning,
+        config: &AdaptiveConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            partitioning.num_vertices(),
+            graph.num_vertices(),
+            "assignment does not cover the graph"
+        );
+        assert_eq!(
+            partitioning.num_partitions(),
+            config.num_partitions,
+            "partition count mismatch"
+        );
+        Self::from_parts(to_dyn(graph), partitioning, config.clone(), CapacityMode::Auto, seed)
+    }
+
+    /// Replaces automatic capacity tracking with fixed explicit limits.
+    pub fn set_fixed_capacities(&mut self, caps: CapacityModel) {
+        assert_eq!(
+            caps.num_partitions(),
+            self.config.num_partitions,
+            "partition count mismatch"
+        );
+        self.capacity_mode = CapacityMode::Fixed(caps);
+    }
+
+    fn from_parts(
+        graph: DynGraph,
+        mut partitioning: Partitioning,
+        config: AdaptiveConfig,
+        capacity_mode: CapacityMode,
+        seed: u64,
+    ) -> Self {
+        partitioning.recount_live(&graph);
+        let cut = cut_edges(&graph, &partitioning);
+        let kernel = DecisionKernel::new(config.num_partitions, config.count_self);
+        let mut degree_mass = vec![0usize; config.num_partitions as usize];
+        for v in graph.vertices() {
+            degree_mass[partitioning.partition_of(v) as usize] += graph.degree(v);
+        }
+        AdaptivePartitioner {
+            graph,
+            partitioning,
+            config,
+            capacity_mode,
+            kernel,
+            rng: StdRng::seed_from_u64(seed),
+            cut,
+            degree_mass,
+            iteration: 0,
+            quiet_streak: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The graph being partitioned.
+    pub fn graph(&self) -> &DynGraph {
+        &self.graph
+    }
+
+    /// The current assignment.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Current number of cut edges (maintained incrementally).
+    pub fn cut_edges(&self) -> usize {
+        self.cut
+    }
+
+    /// Current cut ratio.
+    pub fn cut_ratio(&self) -> f64 {
+        if self.graph.num_edges() == 0 {
+            0.0
+        } else {
+            self.cut as f64 / self.graph.num_edges() as f64
+        }
+    }
+
+    /// Iterations executed so far.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Consecutive migration-free iterations.
+    pub fn quiet_streak(&self) -> usize {
+        self.quiet_streak
+    }
+
+    /// Whether the convergence criterion (no migrations for
+    /// `config.convergence_window` iterations) currently holds.
+    pub fn is_converged(&self) -> bool {
+        self.quiet_streak >= self.config.convergence_window
+    }
+
+    /// Current capacity limits (vertex- or degree-mass-denominated,
+    /// depending on [`AdaptiveConfig::balance_edges`]).
+    pub fn capacities(&self) -> CapacityModel {
+        match &self.capacity_mode {
+            CapacityMode::Fixed(caps) => caps.clone(),
+            CapacityMode::Auto if self.config.balance_edges => CapacityModel::edge_balanced(
+                self.graph.num_edges().max(1),
+                self.config.num_partitions,
+                self.config.capacity_factor,
+            ),
+            CapacityMode::Auto => CapacityModel::vertex_balanced(
+                self.graph.num_live_vertices(),
+                self.config.num_partitions,
+                self.config.capacity_factor,
+            ),
+        }
+    }
+
+    /// Per-partition degree mass (edge endpoints).
+    pub fn degree_mass(&self) -> &[usize] {
+        &self.degree_mass
+    }
+
+    /// Runs one iteration of the algorithm and reports its metrics.
+    ///
+    /// All migration decisions observe the assignment as it stood at the
+    /// start of the iteration (the paper's iteration semantics); moves are
+    /// applied together afterwards.
+    pub fn iterate(&mut self) -> IterationStats {
+        let k = self.config.num_partitions;
+        let caps = self.capacities();
+        let balance_edges = self.config.balance_edges;
+        let remaining: Vec<usize> = (0..k)
+            .map(|p| {
+                let load = if balance_edges {
+                    self.degree_mass[p as usize]
+                } else {
+                    self.partitioning.size(p)
+                };
+                caps.remaining(p, load)
+            })
+            .collect();
+        let mut quota = QuotaTable::new(self.config.quota_rule, &remaining);
+
+        // Decision phase: read-only on the assignment.
+        self.pending.clear();
+        let s = self.config.willingness_at(self.iteration);
+        for v in self.graph.vertices() {
+            if s < 1.0 && !self.rng.gen_bool(s) {
+                continue;
+            }
+            let current = self.partitioning.partition_of(v);
+            let partitioning = &self.partitioning;
+            let neighbor_parts = self
+                .graph
+                .neighbors(v)
+                .iter()
+                .map(|&w| partitioning.partition_of(w));
+            if let MigrationDecision::Migrate(to) =
+                self.kernel.decide(current, neighbor_parts, &mut self.rng)
+            {
+                let units = if balance_edges { self.graph.degree(v) } else { 1 };
+                if quota.try_consume_units(current, to, units) {
+                    self.pending.push((v, to));
+                }
+            }
+        }
+
+        // Apply phase: move vertices, updating the cut incrementally.
+        let migrations = self.pending.len();
+        let pending = std::mem::take(&mut self.pending);
+        for &(v, to) in &pending {
+            self.apply_move(v, to);
+        }
+        self.pending = pending;
+
+        self.iteration += 1;
+        if migrations == 0 {
+            self.quiet_streak += 1;
+        } else {
+            self.quiet_streak = 0;
+        }
+        self.stats_snapshot(migrations)
+    }
+
+    fn apply_move(&mut self, v: VertexId, to: PartitionId) {
+        let from = self.partitioning.partition_of(v);
+        if from == to {
+            return;
+        }
+        for &w in self.graph.neighbors(v) {
+            let pw = self.partitioning.partition_of(w);
+            if pw == from {
+                self.cut += 1; // was internal, becomes cut
+            } else if pw == to {
+                self.cut -= 1; // was cut, becomes internal
+            }
+        }
+        let deg = self.graph.degree(v);
+        self.degree_mass[from as usize] -= deg;
+        self.degree_mass[to as usize] += deg;
+        self.partitioning.move_vertex(v, to);
+    }
+
+    fn stats_snapshot(&self, migrations: usize) -> IterationStats {
+        IterationStats {
+            iteration: self.iteration - 1,
+            migrations,
+            cut_edges: self.cut,
+            live_vertices: self.graph.num_live_vertices(),
+            num_edges: self.graph.num_edges(),
+            max_partition: self.partitioning.sizes().iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Runs exactly `n` iterations, returning their stats.
+    pub fn run_for(&mut self, n: usize) -> Vec<IterationStats> {
+        (0..n).map(|_| self.iterate()).collect()
+    }
+
+    /// Runs until convergence (no migrations for
+    /// `config.convergence_window` consecutive iterations) or until
+    /// `config.max_iterations` iterations have been executed in this call.
+    pub fn run_to_convergence(&mut self) -> ConvergenceReport {
+        let initial_cut = self.cut;
+        let initial_edges = self.graph.num_edges();
+        let mut history = Vec::new();
+        for _ in 0..self.config.max_iterations {
+            history.push(self.iterate());
+            if self.is_converged() {
+                break;
+            }
+        }
+        ConvergenceReport::new(
+            history,
+            initial_cut,
+            initial_edges,
+            self.config.convergence_window,
+        )
+    }
+
+    // ---- dynamic graph mutations -------------------------------------
+
+    /// Streams in a new vertex with the given neighbours, placing it
+    /// according to the configured [`PlacementPolicy`]. Returns its id.
+    ///
+    /// Edges to tombstoned or unknown endpoints are ignored (the stream may
+    /// race with removals, as in the paper's CDR scenario).
+    pub fn add_vertex_with_edges(&mut self, neighbors: &[VertexId]) -> VertexId {
+        let v = self.graph.add_vertex();
+        let p = self.place_new_vertex(v);
+        self.partitioning.grow_to(v as usize + 1, p);
+        for &w in neighbors {
+            self.add_edge(v, w);
+        }
+        self.quiet_streak = 0;
+        v
+    }
+
+    /// Adds an undirected edge; returns whether the graph changed.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let added = self.graph.add_edge(u, v);
+        if added {
+            if self.partitioning.partition_of(u) != self.partitioning.partition_of(v) {
+                self.cut += 1;
+            }
+            self.degree_mass[self.partitioning.partition_of(u) as usize] += 1;
+            self.degree_mass[self.partitioning.partition_of(v) as usize] += 1;
+            self.quiet_streak = 0;
+        }
+        added
+    }
+
+    /// Removes an undirected edge; returns whether the graph changed.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let removed = self.graph.remove_edge(u, v);
+        if removed {
+            if self.partitioning.partition_of(u) != self.partitioning.partition_of(v) {
+                self.cut -= 1;
+            }
+            self.degree_mass[self.partitioning.partition_of(u) as usize] -= 1;
+            self.degree_mass[self.partitioning.partition_of(v) as usize] -= 1;
+            self.quiet_streak = 0;
+        }
+        removed
+    }
+
+    /// Removes a vertex and its incident edges; returns whether the graph
+    /// changed.
+    pub fn remove_vertex(&mut self, v: VertexId) -> bool {
+        if !self.graph.is_vertex(v) {
+            return false;
+        }
+        let pv = self.partitioning.partition_of(v);
+        for &w in self.graph.neighbors(v) {
+            if self.partitioning.partition_of(w) != pv {
+                self.cut -= 1;
+            }
+            self.degree_mass[self.partitioning.partition_of(w) as usize] -= 1;
+        }
+        self.degree_mass[pv as usize] -= self.graph.degree(v);
+        self.graph.remove_vertex(v);
+        self.partitioning.forget_vertex(v);
+        self.quiet_streak = 0;
+        true
+    }
+
+    fn place_new_vertex(&mut self, v: VertexId) -> PartitionId {
+        let k = self.config.num_partitions;
+        let caps = self.capacities();
+        let least_loaded = || -> PartitionId {
+            (0..k)
+                .min_by_key(|&p| self.partitioning.size(p))
+                .expect("k >= 1")
+        };
+        match self.config.placement {
+            PlacementPolicy::LeastLoaded => least_loaded(),
+            PlacementPolicy::HashWithFallback => {
+                let p = (hash_vertex(v) % k as u64) as PartitionId;
+                if caps.remaining(p, self.partitioning.size(p)) > 0 {
+                    p
+                } else {
+                    least_loaded()
+                }
+            }
+        }
+    }
+
+    /// Audits internal invariants (incremental cut vs recount, size
+    /// accounting); used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn audit(&self) {
+        let recount = cut_edges(&self.graph, &self.partitioning);
+        assert_eq!(self.cut, recount, "incremental cut drifted");
+        let mut sizes = vec![0usize; self.config.num_partitions as usize];
+        let mut mass = vec![0usize; self.config.num_partitions as usize];
+        for v in self.graph.vertices() {
+            sizes[self.partitioning.partition_of(v) as usize] += 1;
+            mass[self.partitioning.partition_of(v) as usize] += self.graph.degree(v);
+        }
+        assert_eq!(sizes.as_slice(), self.partitioning.sizes(), "size accounting drifted");
+        assert_eq!(mass, self.degree_mass, "degree-mass accounting drifted");
+    }
+}
+
+fn to_dyn<G: Graph>(graph: &G) -> DynGraph {
+    let mut d = DynGraph::with_vertices(graph.num_vertices());
+    for v in graph.vertices() {
+        for &w in graph.neighbors(v) {
+            if w > v {
+                d.add_edge(v, w);
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::gen;
+    use apg_partition::vertex_imbalance;
+
+    fn mesh_partitioner(s: f64, seed: u64) -> AdaptivePartitioner {
+        let g = gen::mesh3d(8, 8, 8);
+        let cfg = AdaptiveConfig::new(4).willingness(s);
+        AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, seed)
+    }
+
+    #[test]
+    fn cut_decreases_markedly_on_mesh() {
+        let mut p = mesh_partitioner(0.5, 1);
+        let before = p.cut_ratio();
+        p.run_for(60);
+        let after = p.cut_ratio();
+        assert!(after < 0.5 * before, "cut only went {before} -> {after}");
+        p.audit();
+    }
+
+    #[test]
+    fn willingness_zero_freezes_everything() {
+        let mut p = mesh_partitioner(0.0, 2);
+        let before = p.partitioning().clone();
+        let stats = p.run_for(5);
+        assert!(stats.iter().all(|s| s.migrations == 0));
+        assert_eq!(p.partitioning(), &before);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut p = mesh_partitioner(1.0, 3);
+        for _ in 0..40 {
+            p.iterate();
+            let caps = p.capacities();
+            for part in 0..4u16 {
+                assert!(
+                    p.partitioning().size(part) <= caps.capacity(part),
+                    "partition {part} exceeded capacity at iteration {}",
+                    p.iteration()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balance_stays_bounded() {
+        let mut p = mesh_partitioner(0.5, 4);
+        p.run_for(80);
+        let imb = vertex_imbalance(p.partitioning());
+        assert!(imb <= 1.11, "imbalance {imb} above capacity factor");
+    }
+
+    #[test]
+    fn converges_on_small_mesh() {
+        let g = gen::mesh3d(6, 6, 6);
+        let cfg = AdaptiveConfig::new(4).max_iterations(600);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 5);
+        let report = p.run_to_convergence();
+        assert!(report.converged(), "did not converge in 600 iterations");
+        assert!(p.is_converged());
+    }
+
+    #[test]
+    fn incremental_cut_matches_recount_under_churn() {
+        let mut p = mesh_partitioner(0.7, 6);
+        p.run_for(10);
+        // Interleave mutations with iterations.
+        let v1 = p.add_vertex_with_edges(&[0, 1, 2, 3]);
+        p.add_edge(v1, 10);
+        p.remove_edge(0, 1);
+        p.remove_vertex(5);
+        p.run_for(5);
+        p.audit();
+    }
+
+    #[test]
+    fn mutations_reset_convergence() {
+        let g = gen::mesh3d(4, 4, 4);
+        let cfg = AdaptiveConfig::new(2).max_iterations(400);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 7);
+        p.run_to_convergence();
+        assert!(p.is_converged());
+        p.add_vertex_with_edges(&[0, 1]);
+        assert!(!p.is_converged(), "mutation must reset the quiet streak");
+    }
+
+    #[test]
+    fn new_vertex_migrates_towards_neighbours() {
+        let g = gen::mesh3d(6, 6, 6);
+        let cfg = AdaptiveConfig::new(3).willingness(1.0);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 8);
+        p.run_for(100);
+        // Attach a vertex entirely to partition owners of vertex 0's area.
+        let anchor = 0u32;
+        let target_part = p.partitioning().partition_of(anchor);
+        let neighbours: Vec<VertexId> = std::iter::once(anchor)
+            .chain(p.graph().neighbors(anchor).iter().copied())
+            .filter(|&w| p.partitioning().partition_of(w) == target_part)
+            .collect();
+        let v = p.add_vertex_with_edges(&neighbours);
+        p.run_for(20);
+        assert_eq!(
+            p.partitioning().partition_of(v),
+            target_part,
+            "vertex should have migrated to its neighbourhood"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = mesh_partitioner(0.5, 11);
+        let mut b = mesh_partitioner(0.5, 11);
+        a.run_for(20);
+        b.run_for(20);
+        assert_eq!(a.partitioning(), b.partitioning());
+        assert_eq!(a.cut_edges(), b.cut_edges());
+    }
+
+    #[test]
+    fn from_partitioning_resumes() {
+        let g = gen::mesh3d(4, 4, 4);
+        let cfg = AdaptiveConfig::new(2);
+        let p1 = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Random, &cfg, 1);
+        let assignment = p1.partitioning().clone();
+        let p2 = AdaptivePartitioner::from_partitioning(&g, assignment.clone(), &cfg, 2);
+        assert_eq!(p2.partitioning(), &assignment);
+        assert_eq!(p2.cut_edges(), cut_edges(&g, &assignment));
+    }
+
+    #[test]
+    fn fixed_capacities_are_respected() {
+        let g = gen::mesh3d(4, 4, 4);
+        let cfg = AdaptiveConfig::new(2).willingness(1.0);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Random, &cfg, 3);
+        let tight = CapacityModel::vertex_balanced(64, 2, 1.0);
+        p.set_fixed_capacities(tight.clone());
+        p.run_for(30);
+        for part in 0..2u16 {
+            assert!(p.partitioning().size(part) <= tight.capacity(part));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-iteration migration quotas (paper §2.2).
+//!
+//! Capacities can only be observed at the start of an iteration, and
+//! migration decisions are taken independently, so without further
+//! restriction every vertex could pick the same destination and overflow
+//! it. The paper's worst-case rule splits each partition's remaining
+//! capacity `C^t(j)` evenly across the `k − 1` possible senders:
+//! `Q^t(i, j) = C^t(j) / (k − 1)`.
+
+use apg_partition::PartitionId;
+
+use crate::config::QuotaRule;
+
+/// Tracks how many more vertices may migrate between each ordered partition
+/// pair during the current iteration.
+#[derive(Debug, Clone)]
+pub struct QuotaTable {
+    k: usize,
+    /// Remaining budget for (from, to) pairs, row-major; `usize::MAX`
+    /// encodes "unbounded".
+    budget: Vec<usize>,
+}
+
+impl QuotaTable {
+    /// Builds the table for one iteration from each partition's remaining
+    /// capacity at the start of the iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remaining.len()` is zero.
+    pub fn new(rule: QuotaRule, remaining: &[usize]) -> Self {
+        let k = remaining.len();
+        assert!(k > 0, "need at least one partition");
+        let budget = match rule {
+            QuotaRule::Unbounded => vec![usize::MAX; k * k],
+            QuotaRule::PerSourceSplit => {
+                let mut budget = vec![0usize; k * k];
+                for to in 0..k {
+                    // With k == 1 there is nowhere to migrate anyway.
+                    let per_source = if k > 1 { remaining[to] / (k - 1) } else { 0 };
+                    for from in 0..k {
+                        if from != to {
+                            budget[from * k + to] = per_source;
+                        }
+                    }
+                }
+                budget
+            }
+        };
+        QuotaTable { k, budget }
+    }
+
+    /// Remaining budget for migrations `from -> to`.
+    pub fn available(&self, from: PartitionId, to: PartitionId) -> usize {
+        self.budget[from as usize * self.k + to as usize]
+    }
+
+    /// Attempts to consume one unit of `from -> to` budget.
+    ///
+    /// Returns `true` when the migration is admitted.
+    pub fn try_consume(&mut self, from: PartitionId, to: PartitionId) -> bool {
+        self.try_consume_units(from, to, 1)
+    }
+
+    /// Attempts to consume `units` of `from -> to` budget at once — used by
+    /// the edge-balanced extension, where a vertex of degree `d` occupies
+    /// `d` units of its destination's capacity.
+    ///
+    /// Returns `true` when the migration is admitted. Zero-unit requests
+    /// always succeed.
+    pub fn try_consume_units(&mut self, from: PartitionId, to: PartitionId, units: usize) -> bool {
+        let slot = &mut self.budget[from as usize * self.k + to as usize];
+        match *slot {
+            usize::MAX => true, // unbounded never depletes
+            ref mut b if *b >= units => {
+                *b -= units;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_capacity_evenly() {
+        // k = 3, partition 2 has 10 slots left -> 5 per sender.
+        let q = QuotaTable::new(QuotaRule::PerSourceSplit, &[0, 4, 10]);
+        assert_eq!(q.available(0, 2), 5);
+        assert_eq!(q.available(1, 2), 5);
+        assert_eq!(q.available(0, 1), 2);
+        assert_eq!(q.available(1, 0), 0);
+    }
+
+    #[test]
+    fn self_migration_has_no_budget() {
+        let q = QuotaTable::new(QuotaRule::PerSourceSplit, &[10, 10]);
+        assert_eq!(q.available(1, 1), 0);
+    }
+
+    #[test]
+    fn consume_depletes() {
+        let mut q = QuotaTable::new(QuotaRule::PerSourceSplit, &[0, 2]);
+        assert!(q.try_consume(0, 1));
+        assert!(q.try_consume(0, 1));
+        assert!(!q.try_consume(0, 1), "budget of 2 must deplete");
+    }
+
+    #[test]
+    fn total_admissions_cannot_overflow_destination() {
+        // Worst case: every sender exhausts its quota; the destination still
+        // fits because k-1 senders * C/(k-1) <= C.
+        let remaining = [7usize, 7, 7, 7];
+        let mut q = QuotaTable::new(QuotaRule::PerSourceSplit, &remaining);
+        let mut admitted = 0;
+        for from in 0..4u16 {
+            while q.try_consume(from, 2) {
+                admitted += 1;
+            }
+        }
+        assert!(admitted <= 7, "overflow: {admitted} > 7");
+    }
+
+    #[test]
+    fn unbounded_never_blocks() {
+        let mut q = QuotaTable::new(QuotaRule::Unbounded, &[0, 0]);
+        for _ in 0..1000 {
+            assert!(q.try_consume(0, 1));
+        }
+    }
+
+    #[test]
+    fn k_equal_one_blocks_everything() {
+        let q = QuotaTable::new(QuotaRule::PerSourceSplit, &[100]);
+        assert_eq!(q.available(0, 0), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Convergence reporting for full runs of the algorithm.
+
+use serde::{Deserialize, Serialize};
+
+use crate::partitioner::IterationStats;
+
+/// Outcome of [`crate::AdaptivePartitioner::run_to_convergence`].
+///
+/// Wraps the per-iteration history with the paper's derived measures:
+/// *convergence time* (iterations until the final migration, excluding the
+/// quiet window used only for detection) and initial/final cut ratios.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    history: Vec<IterationStats>,
+    initial_cut: usize,
+    initial_edges: usize,
+    window: usize,
+}
+
+impl ConvergenceReport {
+    /// Assembles a report. `initial_*` describe the state before the first
+    /// iteration; `window` is the convergence window used for detection.
+    pub fn new(
+        history: Vec<IterationStats>,
+        initial_cut: usize,
+        initial_edges: usize,
+        window: usize,
+    ) -> Self {
+        ConvergenceReport {
+            history,
+            initial_cut,
+            initial_edges,
+            window,
+        }
+    }
+
+    /// Per-iteration metrics, oldest first.
+    pub fn history(&self) -> &[IterationStats] {
+        &self.history
+    }
+
+    /// Total iterations executed (including the quiet detection window).
+    pub fn iterations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether the run ended because the convergence criterion was met
+    /// (rather than hitting the iteration cap).
+    pub fn converged(&self) -> bool {
+        self.history.len() >= self.window
+            && self.history[self.history.len() - self.window..]
+                .iter()
+                .all(|s| s.migrations == 0)
+    }
+
+    /// The paper's convergence time: iterations up to and including the
+    /// last one that migrated anything. Zero if nothing ever migrated.
+    pub fn convergence_time(&self) -> usize {
+        self.history
+            .iter()
+            .rposition(|s| s.migrations > 0)
+            .map(|idx| idx + 1)
+            .unwrap_or(0)
+    }
+
+    /// Cut ratio before the first iteration.
+    pub fn initial_cut_ratio(&self) -> f64 {
+        if self.initial_edges == 0 {
+            0.0
+        } else {
+            self.initial_cut as f64 / self.initial_edges as f64
+        }
+    }
+
+    /// Cut ratio after the last iteration (initial if no iterations ran).
+    pub fn final_cut_ratio(&self) -> f64 {
+        self.history
+            .last()
+            .map(|s| s.cut_ratio())
+            .unwrap_or_else(|| self.initial_cut_ratio())
+    }
+
+    /// Total vertex migrations across the run.
+    pub fn total_migrations(&self) -> usize {
+        self.history.iter().map(|s| s.migrations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(iteration: usize, migrations: usize, cut: usize) -> IterationStats {
+        IterationStats {
+            iteration,
+            migrations,
+            cut_edges: cut,
+            live_vertices: 100,
+            num_edges: 200,
+            max_partition: 30,
+        }
+    }
+
+    #[test]
+    fn convergence_time_excludes_quiet_tail() {
+        let history = vec![stat(0, 5, 80), stat(1, 2, 60), stat(2, 0, 60), stat(3, 0, 60)];
+        let r = ConvergenceReport::new(history, 100, 200, 2);
+        assert!(r.converged());
+        assert_eq!(r.convergence_time(), 2);
+        assert_eq!(r.total_migrations(), 7);
+    }
+
+    #[test]
+    fn not_converged_when_tail_active() {
+        let history = vec![stat(0, 0, 80), stat(1, 1, 60)];
+        let r = ConvergenceReport::new(history, 100, 200, 2);
+        assert!(!r.converged());
+        assert_eq!(r.convergence_time(), 2);
+    }
+
+    #[test]
+    fn ratios() {
+        let r = ConvergenceReport::new(vec![stat(0, 1, 50)], 100, 200, 30);
+        assert!((r.initial_cut_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.final_cut_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_history_falls_back_to_initial() {
+        let r = ConvergenceReport::new(vec![], 10, 100, 30);
+        assert!((r.final_cut_ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(r.convergence_time(), 0);
+        assert!(!r.converged());
+    }
+}

@@ -1,0 +1,78 @@
+//! Small statistics helpers for experiment reporting.
+//!
+//! The paper reports every quality number as "the mean of n = 10
+//! repetitions. Errors are reported in the form of estimated error in the
+//! mean" (§4.2); [`mean_and_sem`] computes exactly that.
+
+/// Mean and standard error of the mean of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (`sd / sqrt(n)`, with Bessel's
+    /// correction); zero for samples of size < 2.
+    pub sem: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.sem)
+    }
+}
+
+/// Computes mean ± SEM over `values`.
+///
+/// Returns a zeroed summary for an empty sample.
+pub fn mean_and_sem(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary { mean: 0.0, sem: 0.0, n: 0 };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Summary { mean, sem: 0.0, n: 1 };
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    Summary {
+        mean,
+        sem: (var / n as f64).sqrt(),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_sample() {
+        let s = mean_and_sem(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.sem, 0.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn known_sem() {
+        // Sample {1, 3}: mean 2, sd sqrt(2), sem 1.
+        let s = mean_and_sem(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.sem - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(mean_and_sem(&[]).n, 0);
+        let one = mean_and_sem(&[5.0]);
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.sem, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = mean_and_sem(&[1.0, 2.0, 3.0]);
+        assert!(s.to_string().contains('±'));
+    }
+}

@@ -1,0 +1,257 @@
+//! Mutable adjacency-list graph for dynamic workloads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrGraph;
+use crate::types::{Graph, VertexId};
+
+/// A mutable undirected simple graph.
+///
+/// Supports the four mutations the paper's dynamic scenarios need — vertex
+/// insertion, vertex removal, edge insertion, edge removal — while keeping
+/// neighbour lists sorted so the migration heuristic's neighbour scans stay
+/// cache-friendly and deterministic.
+///
+/// Removed vertices leave a *tombstone*: the id is never reused within one
+/// graph's lifetime, mirroring how real systems (and the paper's Pregel-like
+/// implementation) keep vertex identity stable across mutations.
+///
+/// # Example
+///
+/// ```
+/// use apg_graph::{DynGraph, Graph};
+///
+/// let mut g = DynGraph::new();
+/// let a = g.add_vertex();
+/// let b = g.add_vertex();
+/// assert!(g.add_edge(a, b));
+/// assert_eq!(g.num_edges(), 1);
+/// g.remove_vertex(b);
+/// assert_eq!(g.num_edges(), 0);
+/// assert!(!g.is_vertex(b));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DynGraph {
+    adj: Vec<Vec<VertexId>>,
+    alive: Vec<bool>,
+    num_live: usize,
+    num_edges: usize,
+}
+
+impl DynGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` live, isolated vertices.
+    pub fn with_vertices(n: usize) -> Self {
+        DynGraph {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            num_live: n,
+            num_edges: 0,
+        }
+    }
+
+    /// Adds a new vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = self.adj.len() as VertexId;
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        self.num_live += 1;
+        id
+    }
+
+    /// Removes vertex `v` and all incident edges.
+    ///
+    /// Returns `false` if `v` was already removed or never existed.
+    pub fn remove_vertex(&mut self, v: VertexId) -> bool {
+        if !self.is_vertex(v) {
+            return false;
+        }
+        let neighbors = std::mem::take(&mut self.adj[v as usize]);
+        for &w in &neighbors {
+            let list = &mut self.adj[w as usize];
+            if let Ok(pos) = list.binary_search(&v) {
+                list.remove(pos);
+            }
+        }
+        self.num_edges -= neighbors.len();
+        self.alive[v as usize] = false;
+        self.num_live -= 1;
+        true
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Returns `false` (and changes nothing) for self-loops, dead endpoints,
+    /// or already-present edges.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.is_vertex(u) || !self.is_vertex(v) {
+            return false;
+        }
+        let lu = &mut self.adj[u as usize];
+        match lu.binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => lu.insert(pos, v),
+        }
+        let lv = &mut self.adj[v as usize];
+        let pos = lv.binary_search(&u).unwrap_err();
+        lv.insert(pos, u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}`.
+    ///
+    /// Returns `false` if the edge did not exist.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.is_vertex(u) || !self.is_vertex(v) {
+            return false;
+        }
+        let lu = &mut self.adj[u as usize];
+        match lu.binary_search(&v) {
+            Ok(pos) => lu.remove(pos),
+            Err(_) => return false,
+        };
+        let lv = &mut self.adj[v as usize];
+        let pos = lv.binary_search(&u).expect("asymmetric adjacency");
+        lv.remove(pos);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.is_vertex(u) && self.is_vertex(v) && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Freezes the current live subgraph into a [`CsrGraph`].
+    ///
+    /// Tombstoned ids are preserved as isolated vertices so that ids remain
+    /// stable between the two representations.
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_sorted_adjacency(self.adj.clone())
+    }
+
+    /// Returns every undirected edge once, with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u = u as VertexId;
+            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+}
+
+impl From<&CsrGraph> for DynGraph {
+    fn from(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let adj: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| g.neighbors(v).to_vec()).collect();
+        DynGraph {
+            adj,
+            alive: vec![true; n],
+            num_live: n,
+            num_edges: g.num_edges(),
+        }
+    }
+}
+
+impl Graph for DynGraph {
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn num_live_vertices(&self) -> usize {
+        self.num_live
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn is_vertex(&self, v: VertexId) -> bool {
+        (v as usize) < self.alive.len() && self.alive[v as usize]
+    }
+
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = DynGraph::with_vertices(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1), "duplicate edge rejected");
+        assert!(!g.add_edge(1, 0), "reverse duplicate rejected");
+        assert!(!g.add_edge(1, 1), "self-loop rejected");
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn remove_vertex_cleans_incident_edges() {
+        let mut g = DynGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        g.add_edge(1, 2);
+        assert!(g.remove_vertex(0));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_live_vertices(), 3);
+        assert!(!g.is_vertex(0));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        // Operations on a tombstone are no-ops.
+        assert!(!g.remove_vertex(0));
+        assert!(!g.add_edge(0, 1));
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut g = DynGraph::new();
+        let a = g.add_vertex();
+        g.remove_vertex(a);
+        let b = g.add_vertex();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn vertices_skips_tombstones() {
+        let mut g = DynGraph::with_vertices(4);
+        g.remove_vertex(1);
+        let live: Vec<_> = g.vertices().collect();
+        assert_eq!(live, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn csr_round_trip_preserves_structure() {
+        let mut g = DynGraph::with_vertices(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        let csr = g.to_csr();
+        assert_eq!(csr.num_edges(), 3);
+        let back = DynGraph::from(&csr);
+        assert_eq!(back.num_edges(), 3);
+        assert_eq!(back.neighbors(1), g.neighbors(1));
+    }
+
+    #[test]
+    fn neighbors_stay_sorted_under_churn() {
+        let mut g = DynGraph::with_vertices(10);
+        for v in [5, 2, 9, 1, 7] {
+            g.add_edge(0, v);
+        }
+        assert_eq!(g.neighbors(0), &[1, 2, 5, 7, 9]);
+        g.remove_edge(0, 5);
+        assert_eq!(g.neighbors(0), &[1, 2, 7, 9]);
+    }
+}

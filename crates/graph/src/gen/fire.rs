@@ -1,0 +1,180 @@
+//! Forest-fire graph expansion (Leskovec et al.), the paper's model for
+//! dynamic growth.
+//!
+//! The paper injects a forest-fire expansion of 10% of the graph size to
+//! stress the adaptive heuristic (Figure 7b) and uses the same model to add
+//! dynamism to its static synthetic graphs (§4.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dynamic::DynGraph;
+use crate::types::{Graph, VertexId};
+
+/// Parameters for a forest-fire expansion burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestFireConfig {
+    /// Number of new vertices to inject.
+    pub new_vertices: usize,
+    /// Forward-burning probability; expected burn fan-out per visited vertex
+    /// is `p / (1 - p)`. The classic densifying regime is `0.3..0.4`.
+    pub burn_prob: f64,
+    /// Cap on edges created per new vertex (keeps worst-case bounded).
+    pub max_links: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ForestFireConfig {
+    /// A burst adding `new_vertices` with the defaults used in the Figure 7b
+    /// reproduction: burn probability tuned so each new vertex brings ~3 new
+    /// edges, matching the paper's injection of 10 M vertices and 30 M edges
+    /// into the 100 M-vertex / 300 M-edge heart mesh.
+    pub fn burst(new_vertices: usize, seed: u64) -> Self {
+        ForestFireConfig {
+            new_vertices,
+            burn_prob: 0.45,
+            max_links: 16,
+            seed,
+        }
+    }
+}
+
+/// Expands `graph` in place with a forest-fire burst and returns the ids of
+/// the new vertices.
+///
+/// Each new vertex picks a uniform random live *ambassador*, links to it,
+/// then recursively "burns" a geometric number of each visited vertex's
+/// neighbours, linking to every burned vertex, up to `max_links` links.
+///
+/// # Panics
+///
+/// Panics if the graph has no live vertices (an ambassador cannot be chosen)
+/// while `new_vertices > 0`.
+pub fn forest_fire(graph: &mut DynGraph, cfg: &ForestFireConfig) -> Vec<VertexId> {
+    assert!(
+        cfg.new_vertices == 0 || graph.num_live_vertices() > 0,
+        "forest fire needs at least one live ambassador"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut new_ids = Vec::with_capacity(cfg.new_vertices);
+
+    for _ in 0..cfg.new_vertices {
+        let ambassador = pick_live(graph, &mut rng);
+        let v = graph.add_vertex();
+        let mut burned: Vec<VertexId> = Vec::with_capacity(cfg.max_links);
+        let mut frontier = vec![ambassador];
+        burned.push(ambassador);
+        while let Some(w) = frontier.pop() {
+            if burned.len() >= cfg.max_links {
+                break;
+            }
+            // Geometric(1 - p) fan-out: keep drawing neighbours while a
+            // biased coin keeps landing on "burn".
+            let nbrs = graph.neighbors(w);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let mut fanout = 0usize;
+            while rng.gen_bool(cfg.burn_prob) && fanout < cfg.max_links {
+                fanout += 1;
+            }
+            for _ in 0..fanout {
+                let pick = nbrs[rng.gen_range(0..nbrs.len())];
+                if !burned.contains(&pick) {
+                    burned.push(pick);
+                    frontier.push(pick);
+                    if burned.len() >= cfg.max_links {
+                        break;
+                    }
+                }
+            }
+        }
+        for w in burned {
+            graph.add_edge(v, w);
+        }
+        new_ids.push(v);
+    }
+    new_ids
+}
+
+fn pick_live(graph: &DynGraph, rng: &mut StdRng) -> VertexId {
+    loop {
+        let v = rng.gen_range(0..graph.num_vertices()) as VertexId;
+        if graph.is_vertex(v) {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::mesh3d;
+
+    fn base() -> DynGraph {
+        DynGraph::from(&mesh3d(10, 10, 10))
+    }
+
+    #[test]
+    fn adds_requested_vertices() {
+        let mut g = base();
+        let before_v = g.num_live_vertices();
+        let cfg = ForestFireConfig::burst(100, 3);
+        let new = forest_fire(&mut g, &cfg);
+        assert_eq!(new.len(), 100);
+        assert_eq!(g.num_live_vertices(), before_v + 100);
+    }
+
+    #[test]
+    fn every_new_vertex_is_connected() {
+        let mut g = base();
+        let new = forest_fire(&mut g, &ForestFireConfig::burst(50, 9));
+        for v in new {
+            assert!(g.degree(v) >= 1, "vertex {v} left isolated");
+        }
+    }
+
+    #[test]
+    fn burst_brings_about_three_edges_per_new_vertex() {
+        // The Figure 7b scenario: the paper injects 10 M vertices and 30 M
+        // edges into a 100 M / 300 M mesh, i.e. ~3 edges per new vertex.
+        let mut g = DynGraph::from(&mesh3d(20, 20, 20)); // 8000 v, 22800 e
+        let before_e = g.num_edges();
+        let burst = g.num_live_vertices() / 10;
+        forest_fire(&mut g, &ForestFireConfig::burst(burst, 1));
+        let added = g.num_edges() - before_e;
+        let per_vertex = added as f64 / burst as f64;
+        assert!(
+            (2.0..=4.5).contains(&per_vertex),
+            "edges per new vertex {per_vertex} outside expected band"
+        );
+    }
+
+    #[test]
+    fn respects_max_links() {
+        // max_links caps the edges a vertex creates on arrival; check each
+        // arrival in isolation (later arrivals may legitimately attach to
+        // earlier new vertices and raise their degree).
+        for seed in 0..30 {
+            let mut g = base();
+            let cfg = ForestFireConfig {
+                new_vertices: 1,
+                burn_prob: 0.9,
+                max_links: 5,
+                seed,
+            };
+            let new = forest_fire(&mut g, &cfg);
+            assert!(g.degree(new[0]) <= 5, "seed {seed}: degree {}", g.degree(new[0]));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = base();
+        let mut b = base();
+        forest_fire(&mut a, &ForestFireConfig::burst(40, 77));
+        forest_fire(&mut b, &ForestFireConfig::burst(40, 77));
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

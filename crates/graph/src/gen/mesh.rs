@@ -1,0 +1,198 @@
+//! Finite-element-mesh generators (the paper's FEM graph family).
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Generates a 3-D regular cubic mesh of `a x b x c` vertices with
+/// 6-neighbour (von Neumann) connectivity.
+///
+/// This reproduces the paper's synthetic FEM family: the vertex at grid
+/// coordinate `(x, y, z)` connects to its axis-aligned neighbours. The edge
+/// count is `a*b*(c-1) + a*(b-1)*c + (a-1)*b*c`, which matches the paper's
+/// Table 1 exactly: `mesh3d(40,40,40)` has 187 200 edges (`64kcube`) and
+/// `mesh3d(100,100,100)` has 2 970 000 (`1e6`).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or the vertex count overflows `u32`.
+pub fn mesh3d(a: usize, b: usize, c: usize) -> CsrGraph {
+    assert!(a > 0 && b > 0 && c > 0, "mesh dimensions must be positive");
+    let n = a
+        .checked_mul(b)
+        .and_then(|ab| ab.checked_mul(c))
+        .expect("mesh too large");
+    assert!(n <= u32::MAX as usize, "mesh exceeds u32 vertex ids");
+
+    let id = |x: usize, y: usize, z: usize| -> VertexId { ((x * b + y) * c + z) as VertexId };
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::with_capacity(6); n];
+    for x in 0..a {
+        for y in 0..b {
+            for z in 0..c {
+                let v = id(x, y, z);
+                let mut push = |w: VertexId| {
+                    adj[v as usize].push(w);
+                    adj[w as usize].push(v);
+                };
+                if x + 1 < a {
+                    push(id(x + 1, y, z));
+                }
+                if y + 1 < b {
+                    push(id(x, y + 1, z));
+                }
+                if z + 1 < c {
+                    push(id(x, y, z + 1));
+                }
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+    }
+    CsrGraph::from_sorted_adjacency(adj)
+}
+
+/// Generates a 2-D triangulated mesh of `rows x cols` vertices.
+///
+/// Grid edges plus one diagonal per cell, giving the triangular elements
+/// typical of 2-D FEM graphs such as `3elt`/`4elt` from the Walshaw archive
+/// (which are not redistributable here; see `datasets` for the substitution
+/// note). Edge count: `rows*(cols-1) + (rows-1)*cols + (rows-1)*(cols-1)`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn mesh2d_tri(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+    let n = rows * cols;
+    assert!(n <= u32::MAX as usize, "mesh exceeds u32 vertex ids");
+    let id = |r: usize, c: usize| -> VertexId { (r * cols + c) as VertexId };
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::with_capacity(8); n];
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = id(r, c);
+            let mut push = |w: VertexId| {
+                adj[v as usize].push(w);
+                adj[w as usize].push(v);
+            };
+            if c + 1 < cols {
+                push(id(r, c + 1));
+            }
+            if r + 1 < rows {
+                push(id(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                push(id(r + 1, c + 1));
+            }
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+    }
+    CsrGraph::from_sorted_adjacency(adj)
+}
+
+/// Picks near-cubic dimensions `(a, b, c)` with `a*b*c == n` when `n`
+/// factorises nicely, used by the scalability sweep (paper Figure 6) whose
+/// mesh sizes are 1000, 3000, 9900, 29700, 99000 and 300000 vertices.
+///
+/// Falls back to `(n, 1, 1)` for awkward `n` (a degenerate chain), so the
+/// caller should stick to friendly sizes.
+pub fn rect_mesh_dims(n: usize) -> (usize, usize, usize) {
+    // Prefer the most cubic factorisation a*b*c = n (maximise min dimension,
+    // then minimise max dimension).
+    let mut best = (n, 1, 1);
+    let mut best_key = (1usize, n as i64);
+    let mut a = 1usize;
+    while a * a * a <= n {
+        if n % a == 0 {
+            let m = n / a;
+            let mut b = a;
+            while b * b <= m {
+                if m % b == 0 {
+                    let c = m / b;
+                    let key = (a.min(b).min(c), -(c as i64));
+                    if key > best_key {
+                        best_key = key;
+                        best = (a, b, c);
+                    }
+                }
+                b += 1;
+            }
+        }
+        a += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Graph;
+
+    #[test]
+    fn mesh3d_matches_paper_64kcube() {
+        let g = mesh3d(40, 40, 40);
+        assert_eq!(g.num_vertices(), 64_000);
+        assert_eq!(g.num_edges(), 187_200);
+    }
+
+    #[test]
+    fn mesh3d_matches_paper_1e4() {
+        // 100x10x10 gives exactly the paper's 1e4 dataset: 10000 / 27900.
+        let g = mesh3d(100, 10, 10);
+        assert_eq!(g.num_vertices(), 10_000);
+        assert_eq!(g.num_edges(), 27_900);
+    }
+
+    #[test]
+    fn mesh3d_degrees_bounded_by_six() {
+        let g = mesh3d(3, 4, 5);
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 3 && g.degree(v) <= 6);
+        }
+        // Corner vertex has exactly 3 neighbours.
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn mesh3d_is_symmetric_and_connected() {
+        let g = mesh3d(4, 4, 4);
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                assert!(g.neighbors(w).contains(&v));
+            }
+        }
+        assert_eq!(crate::algo::connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn mesh2d_edge_count_formula() {
+        let (r, c) = (7, 9);
+        let g = mesh2d_tri(r, c);
+        assert_eq!(g.num_vertices(), r * c);
+        assert_eq!(g.num_edges(), r * (c - 1) + (r - 1) * c + (r - 1) * (c - 1));
+    }
+
+    #[test]
+    fn mesh2d_single_row_is_a_path() {
+        let g = mesh2d_tri(1, 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn rect_dims_cover_figure6_sizes() {
+        for n in [1000usize, 3000, 9900, 29700, 99000, 300000] {
+            let (a, b, c) = rect_mesh_dims(n);
+            assert_eq!(a * b * c, n);
+            assert!(a.min(b).min(c) >= 10, "degenerate dims for {n}: {a}x{b}x{c}");
+        }
+    }
+
+    #[test]
+    fn rect_dims_prefers_cube_for_perfect_cubes() {
+        assert_eq!(rect_mesh_dims(64_000), (40, 40, 40));
+        assert_eq!(rect_mesh_dims(1000), (10, 10, 10));
+    }
+}

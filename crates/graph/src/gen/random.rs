@@ -1,0 +1,81 @@
+//! Uniform random graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Generates an Erdős–Rényi `G(n, p)` graph.
+///
+/// Uses geometric skipping so generation is `O(|E|)` rather than `O(n^2)`,
+/// which keeps test graphs with small `p` cheap.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    if p > 0.0 && n >= 2 {
+        let log1p = (1.0 - p).ln();
+        // Walk the strictly-upper-triangular adjacency matrix in row-major
+        // order, jumping ahead geometrically between present edges.
+        let (mut u, mut v) = (0usize, 0usize);
+        loop {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = if p >= 1.0 { 1 } else { 1 + (r.ln() / log1p).floor() as usize };
+            v += skip;
+            while v >= n {
+                u += 1;
+                if u >= n - 1 {
+                    break;
+                }
+                v = u + 1 + (v - n);
+            }
+            if u >= n - 1 {
+                break;
+            }
+            edges.push((u as VertexId, v as VertexId));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Graph;
+
+    #[test]
+    fn density_close_to_p() {
+        let n = 600;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 5);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn p_zero_yields_empty() {
+        let g = erdos_renyi(100, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn p_one_yields_complete() {
+        let n = 20;
+        let g = erdos_renyi(n, 1.0, 1);
+        assert_eq!(g.num_edges(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(erdos_renyi(200, 0.02, 3), erdos_renyi(200, 0.02, 3));
+    }
+}

@@ -1,0 +1,105 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Not one of the paper's families, but a useful middle ground between its
+//! two extremes (regular FEM meshes and power-law graphs): high clustering
+//! with short paths and a homogeneous degree distribution. Used by tests
+//! and ablations to check the heuristic does not overfit either extreme.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::CsrGraph;
+use crate::types::{ordered, EdgeList, VertexId};
+
+/// Generates a Watts–Strogatz graph: a ring of `n` vertices each connected
+/// to its `k` nearest neighbours (`k` even), with every edge rewired to a
+/// uniform random endpoint with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, zero, or `>= n`, or `p` is not a probability.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!(k > 0 && k % 2 == 0, "k must be positive and even");
+    assert!(k < n, "ring degree must be below n");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut edges: EdgeList = Vec::with_capacity(n * k / 2);
+    let mut present = std::collections::HashSet::with_capacity(n * k / 2);
+    for v in 0..n {
+        for offset in 1..=(k / 2) {
+            let w = (v + offset) % n;
+            let e = ordered(v as VertexId, w as VertexId);
+            if present.insert(e) {
+                edges.push(e);
+            }
+        }
+    }
+    for edge in edges.iter_mut() {
+        if !rng.gen_bool(p) {
+            continue;
+        }
+        let (u, _) = *edge;
+        // Try a few times for a fresh endpoint; keep the original on failure
+        // (dense corner cases), so |E| is preserved.
+        for _ in 0..8 {
+            let w = rng.gen_range(0..n) as VertexId;
+            let candidate = ordered(u, w);
+            if w != u && !present.contains(&candidate) {
+                present.remove(edge);
+                present.insert(candidate);
+                *edge = candidate;
+                break;
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use crate::types::Graph;
+
+    #[test]
+    fn ring_without_rewiring() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+        assert_eq!(algo::connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn rewiring_shortens_paths_but_keeps_edges() {
+        let ring = watts_strogatz(300, 6, 0.0, 2);
+        let small_world = watts_strogatz(300, 6, 0.2, 2);
+        assert_eq!(ring.num_edges(), small_world.num_edges());
+        let d_ring = algo::estimate_mean_geodesic(&ring, 8, 1);
+        let d_sw = algo::estimate_mean_geodesic(&small_world, 8, 1);
+        assert!(
+            d_sw < 0.6 * d_ring,
+            "rewiring should shorten paths: {d_ring} -> {d_sw}"
+        );
+    }
+
+    #[test]
+    fn rewired_graph_keeps_high_clustering_at_low_p() {
+        let g = watts_strogatz(400, 8, 0.05, 3);
+        let c = algo::global_clustering(&g);
+        assert!(c > 0.3, "clustering collapsed: {c}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(watts_strogatz(100, 4, 0.3, 9), watts_strogatz(100, 4, 0.3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: one `u v` pair per line, `#`-prefixed comment lines ignored —
+//! the same shape as SNAP edge lists, so real datasets can be dropped in
+//! when available.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::csr::CsrGraph;
+use crate::types::{EdgeList, Graph, VertexId};
+
+/// Errors produced when parsing an edge list.
+#[derive(Debug)]
+pub enum ParseEdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment nor a `u v` pair.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseEdgeListError::Io(e) => write!(f, "i/o error reading edge list: {e}"),
+            ParseEdgeListError::Malformed { line, text } => {
+                write!(f, "malformed edge list line {line}: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseEdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseEdgeListError::Io(e) => Some(e),
+            ParseEdgeListError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseEdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        ParseEdgeListError::Io(e)
+    }
+}
+
+/// Reads an edge list; a mutable reference also works (`read_edge_list(&mut r)`).
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError::Malformed`] on lines that do not contain
+/// exactly two unsigned integers, or [`ParseEdgeListError::Io`] on read
+/// failures.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, ParseEdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut edges = EdgeList::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        match (parse(parts.next()), parse(parts.next()), parts.next()) {
+            (Some(u), Some(v), None) => edges.push((u, v)),
+            _ => {
+                return Err(ParseEdgeListError::Malformed { line: idx + 1, text: line })
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Reads an edge list and builds a [`CsrGraph`] sized to the maximum vertex
+/// id present.
+///
+/// # Errors
+///
+/// Same as [`read_edge_list`].
+pub fn read_csr<R: Read>(reader: R) -> Result<CsrGraph, ParseEdgeListError> {
+    let edges = read_edge_list(reader)?;
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Writes a graph as an edge list with a header comment.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_edge_list<G: Graph, W: Write>(graph: &G, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# vertices: {} edges: {}",
+        graph.num_live_vertices(),
+        graph.num_edges()
+    )?;
+    for u in graph.vertices() {
+        for &v in graph.neighbors(u) {
+            if u < v {
+                writeln!(w, "{u} {v}")?;
+            }
+        }
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_csr(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n0 1\n  # another\n1 2\n";
+        let edges = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn rejects_malformed_line() {
+        let text = "0 1\n2 x\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            ParseEdgeListError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_three_tokens() {
+        let err = read_edge_list("0 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseEdgeListError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_csr("".as_bytes()).unwrap();
+        assert_eq!(crate::types::Graph::num_vertices(&g), 0);
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_informative() {
+        let err = read_edge_list("zz\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.starts_with("malformed"), "{msg}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Coarsening by heavy-edge matching (HEM).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::wgraph::WGraph;
+
+/// One coarsening step: a matching and the contracted graph.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The contracted graph.
+    pub graph: WGraph,
+    /// For each fine vertex, its coarse vertex id.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+/// Contracts `graph` one level using heavy-edge matching.
+///
+/// Vertices are visited in random order; each unmatched vertex matches its
+/// unmatched neighbour with the heaviest connecting edge (ties: first seen).
+/// Unmatched leftovers map to singleton coarse vertices.
+pub fn coarsen_once(graph: &WGraph, rng: &mut StdRng) -> CoarseLevel {
+    let n = graph.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let mut mate = vec![u32::MAX; n];
+    for &v in &order {
+        let v = v as usize;
+        if mate[v] != u32::MAX {
+            continue;
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for (idx, &w) in graph.neighbors(v).iter().enumerate() {
+            if mate[w as usize] == u32::MAX && (w as usize) != v {
+                let wt = graph.weights(v)[idx];
+                if best.map_or(true, |(bw, _)| wt > bw) {
+                    best = Some((wt, w));
+                }
+            }
+        }
+        match best {
+            Some((_, w)) => {
+                mate[v] = w;
+                mate[w as usize] = v as u32;
+            }
+            None => mate[v] = v as u32, // self-matched singleton
+        }
+    }
+
+    // Assign coarse ids: the smaller endpoint of each matched pair owns it.
+    let mut fine_to_coarse = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if fine_to_coarse[v] != u32::MAX {
+            continue;
+        }
+        let m = mate[v] as usize;
+        fine_to_coarse[v] = next;
+        if m != v {
+            fine_to_coarse[m] = next;
+        }
+        next += 1;
+    }
+    let coarse_n = next as usize;
+
+    // Contract: sum vertex weights, merge parallel edges, drop internal ones.
+    let mut vwgt = vec![0u64; coarse_n];
+    for v in 0..n {
+        vwgt[fine_to_coarse[v] as usize] += graph.vwgt[v];
+    }
+    let mut xadj = Vec::with_capacity(coarse_n + 1);
+    let mut adjncy: Vec<u32> = Vec::new();
+    let mut adjwgt: Vec<u64> = Vec::new();
+    xadj.push(0);
+    // Scratch accumulator: coarse neighbour -> weight, reset per vertex via
+    // a timestamp array to stay O(|E|).
+    let mut weight_acc = vec![0u64; coarse_n];
+    let mut stamp = vec![u32::MAX; coarse_n];
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); coarse_n];
+    for v in 0..n {
+        members[fine_to_coarse[v] as usize].push(v as u32);
+    }
+    for (c, group) in members.iter().enumerate() {
+        let mut touched: Vec<u32> = Vec::new();
+        for &v in group {
+            let v = v as usize;
+            for (idx, &w) in graph.neighbors(v).iter().enumerate() {
+                let cw = fine_to_coarse[w as usize];
+                if cw as usize == c {
+                    continue; // contracted edge
+                }
+                if stamp[cw as usize] != c as u32 {
+                    stamp[cw as usize] = c as u32;
+                    weight_acc[cw as usize] = 0;
+                    touched.push(cw);
+                }
+                weight_acc[cw as usize] += graph.weights(v)[idx];
+            }
+        }
+        touched.sort_unstable();
+        for &cw in &touched {
+            adjncy.push(cw);
+            adjwgt.push(weight_acc[cw as usize]);
+        }
+        xadj.push(adjncy.len());
+    }
+
+    CoarseLevel {
+        graph: WGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        },
+        fine_to_coarse,
+    }
+}
+
+/// Coarsens repeatedly until the graph has at most `target` vertices or a
+/// level shrinks by less than 10% (diminishing returns).
+///
+/// Returns the levels from finest to coarsest.
+pub fn coarsen_to(graph: &WGraph, target: usize, rng: &mut StdRng) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut current = graph.clone();
+    while current.len() > target {
+        let level = coarsen_once(&current, rng);
+        let shrink = level.graph.len() as f64 / current.len() as f64;
+        let next = level.graph.clone();
+        levels.push(level);
+        if shrink > 0.9 {
+            break; // matching stalled (e.g. star graphs)
+        }
+        current = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::gen;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn coarsening_preserves_total_vertex_weight() {
+        let g = WGraph::from_graph(&gen::mesh3d(6, 6, 6));
+        let lvl = coarsen_once(&g, &mut rng());
+        assert_eq!(lvl.graph.total_weight(), g.total_weight());
+        assert!(lvl.graph.len() < g.len());
+        assert!(lvl.graph.len() >= g.len() / 2);
+    }
+
+    #[test]
+    fn coarsening_preserves_cut_under_projection() {
+        let g = WGraph::from_graph(&gen::mesh3d(4, 4, 4));
+        let lvl = coarsen_once(&g, &mut rng());
+        // Build a random coarse bisection and compare cut weights.
+        let coarse_side: Vec<bool> = (0..lvl.graph.len()).map(|i| i % 2 == 0).collect();
+        let fine_side: Vec<bool> = (0..g.len())
+            .map(|v| coarse_side[lvl.fine_to_coarse[v] as usize])
+            .collect();
+        assert_eq!(g.cut_weight(&fine_side), lvl.graph.cut_weight(&coarse_side));
+    }
+
+    #[test]
+    fn coarsen_to_reaches_target() {
+        let g = WGraph::from_graph(&gen::mesh3d(8, 8, 8));
+        let levels = coarsen_to(&g, 50, &mut rng());
+        let coarsest = &levels.last().unwrap().graph;
+        assert!(coarsest.len() <= 100, "got {}", coarsest.len());
+    }
+
+    #[test]
+    fn singleton_graph_is_fixed_point() {
+        let g = WGraph {
+            xadj: vec![0, 0],
+            adjncy: vec![],
+            adjwgt: vec![],
+            vwgt: vec![3],
+        };
+        let lvl = coarsen_once(&g, &mut rng());
+        assert_eq!(lvl.graph.len(), 1);
+        assert_eq!(lvl.graph.vwgt, vec![3]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Recursive-bisection k-way partitioning over the multilevel pipeline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use apg_partition::PartitionId;
+
+use crate::bisect::greedy_bisect;
+use crate::coarsen::coarsen_to;
+use crate::refine::{fm_refine, SideLimits};
+use crate::wgraph::WGraph;
+
+/// Vertex count below which coarsening stops and initial bisection runs.
+const COARSEST_SIZE: usize = 120;
+/// Greedy-graph-growing restarts at the coarsest level.
+const BISECT_TRIES: usize = 6;
+/// FM passes per uncoarsening level.
+const FM_PASSES: usize = 6;
+
+/// Partitions `graph` into `k` parts via multilevel recursive bisection,
+/// returning one partition id per (compact) vertex.
+///
+/// Weight is split proportionally at every bisection (`ceil(k/2) : floor(k/2)`),
+/// so any `k` is supported. `imbalance` bounds each side's overweight at
+/// every split.
+pub fn recursive_bisection(graph: &WGraph, k: PartitionId, imbalance: f64, seed: u64) -> Vec<PartitionId> {
+    let mut assignment = vec![0 as PartitionId; graph.len()];
+    if graph.is_empty() || k <= 1 {
+        return assignment;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Identity map at the top level.
+    let ids: Vec<u32> = (0..graph.len() as u32).collect();
+    split(graph, &ids, 0, k, imbalance, &mut rng, &mut assignment);
+    assignment
+}
+
+/// Recursively bisects `graph` (whose compact ids map to `global_ids`),
+/// writing partition ids `first..first + k` into `assignment`.
+fn split(
+    graph: &WGraph,
+    global_ids: &[u32],
+    first: PartitionId,
+    k: PartitionId,
+    imbalance: f64,
+    rng: &mut StdRng,
+    assignment: &mut [PartitionId],
+) {
+    if k == 1 || graph.len() <= 1 {
+        // Degenerate cases: no further split possible. With more requested
+        // partitions than vertices, the surplus ids stay empty.
+        for &g in global_ids {
+            assignment[g as usize] = first;
+        }
+        return;
+    }
+    let k_left = k.div_ceil(2);
+    let frac = k_left as f64 / k as f64;
+    let side = multilevel_bisect(graph, frac, imbalance, rng);
+    let (left, left_map) = graph.subgraph(&side, true);
+    let (right, right_map) = graph.subgraph(&side, false);
+    let left_globals: Vec<u32> = left_map.iter().map(|&v| global_ids[v as usize]).collect();
+    let right_globals: Vec<u32> = right_map.iter().map(|&v| global_ids[v as usize]).collect();
+    split(&left, &left_globals, first, k_left, imbalance, rng, assignment);
+    split(&right, &right_globals, first + k_left, k - k_left, imbalance, rng, assignment);
+}
+
+/// One multilevel bisection: coarsen, bisect the coarsest graph, project
+/// back refining with FM at every level.
+pub fn multilevel_bisect(graph: &WGraph, frac: f64, imbalance: f64, rng: &mut StdRng) -> Vec<bool> {
+    let levels = coarsen_to(graph, COARSEST_SIZE, rng);
+    let coarsest = levels.last().map(|l| &l.graph).unwrap_or(graph);
+    let mut side = greedy_bisect(coarsest, frac, BISECT_TRIES, rng);
+    let limits = SideLimits::proportional(graph.total_weight(), frac, imbalance);
+    fm_refine(coarsest, &mut side, limits, FM_PASSES);
+
+    // Project through the levels, refining at each.
+    for level_idx in (0..levels.len()).rev() {
+        let fine_graph = if level_idx == 0 { graph } else { &levels[level_idx - 1].graph };
+        let map = &levels[level_idx].fine_to_coarse;
+        let mut fine_side = vec![false; fine_graph.len()];
+        for v in 0..fine_graph.len() {
+            fine_side[v] = side[map[v] as usize];
+        }
+        fm_refine(fine_graph, &mut fine_side, limits, FM_PASSES);
+        side = fine_side;
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::gen;
+
+    #[test]
+    fn multilevel_bisect_quality_on_mesh() {
+        let g = WGraph::from_graph(&gen::mesh3d(10, 10, 10));
+        let mut rng = StdRng::seed_from_u64(1);
+        let side = multilevel_bisect(&g, 0.5, 1.10, &mut rng);
+        let cut = g.cut_weight(&side);
+        // The minimal axis cut of a 10^3 mesh is 100; multilevel should land
+        // in that vicinity (well under a random ~2700).
+        assert!(cut < 250, "cut {cut}");
+    }
+
+    #[test]
+    fn recursive_bisection_uses_all_partitions() {
+        let g = WGraph::from_graph(&gen::mesh3d(6, 6, 6));
+        let assignment = recursive_bisection(&g, 5, 1.10, 3);
+        for p in 0..5u16 {
+            let size = assignment.iter().filter(|&&a| a == p).count();
+            assert!(size > 0, "partition {p} empty");
+            // Proportional split: ~43 each, allow slack.
+            assert!((30..=60).contains(&size), "partition {p} size {size}");
+        }
+    }
+
+    #[test]
+    fn k_two_is_plain_bisection() {
+        let g = WGraph::from_graph(&gen::mesh3d(4, 4, 4));
+        let a = recursive_bisection(&g, 2, 1.10, 9);
+        let ones = a.iter().filter(|&&p| p == 1).count();
+        assert!((28..=36).contains(&ones), "unbalanced: {ones}");
+    }
+
+    #[test]
+    fn more_partitions_than_vertices_is_fine() {
+        // Found by proptest: a subgraph side can end up with fewer vertices
+        // than requested partitions; the recursion must not bisect an empty
+        // side.
+        let g = WGraph::from_graph(&apg_graph::CsrGraph::from_edges(3, &[(0, 1)]));
+        let a = recursive_bisection(&g, 5, 1.10, 1);
+        assert_eq!(a.len(), 3);
+        for &p in &a {
+            assert!(p < 5);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = WGraph {
+            xadj: vec![0],
+            adjncy: vec![],
+            adjwgt: vec![],
+            vwgt: vec![],
+        };
+        assert!(recursive_bisection(&g, 4, 1.10, 0).is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Fiduccia–Mattheyses boundary refinement.
+
+use crate::wgraph::WGraph;
+
+/// Balance constraints for a bisection: each side's vertex weight must stay
+/// at or below its maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SideLimits {
+    /// Maximum weight of the `true` side.
+    pub max_true: u64,
+    /// Maximum weight of the `false` side.
+    pub max_false: u64,
+}
+
+impl SideLimits {
+    /// Limits allowing each side `imbalance` times its proportional share
+    /// (`frac` of the total for the `true` side).
+    pub fn proportional(total: u64, frac: f64, imbalance: f64) -> Self {
+        SideLimits {
+            max_true: ((total as f64 * frac) * imbalance).ceil() as u64,
+            max_false: ((total as f64 * (1.0 - frac)) * imbalance).ceil() as u64,
+        }
+    }
+}
+
+/// Refines a bisection in place with FM passes until a pass yields no
+/// improvement, returning the final cut weight.
+///
+/// Each pass tentatively moves every vertex at most once in best-gain-first
+/// order (lazy max-heap), allowing negative-gain moves to escape local
+/// minima, then rewinds to the best prefix — the classic FM hill-climbing
+/// scheme. Balance limits are never violated mid-pass.
+pub fn fm_refine(graph: &WGraph, side: &mut [bool], limits: SideLimits, max_passes: usize) -> u64 {
+    let n = graph.len();
+    let mut best_cut = graph.cut_weight(side);
+    for _ in 0..max_passes {
+        let mut weight_true: u64 = (0..n).filter(|&v| side[v]).map(|v| graph.vwgt[v]).sum();
+        let mut weight_false: u64 = graph.total_weight() - weight_true;
+
+        let gain_of = |v: usize, side: &[bool]| -> i64 {
+            let mut g = 0i64;
+            for (idx, &w) in graph.neighbors(v).iter().enumerate() {
+                let wt = graph.weights(v)[idx] as i64;
+                if side[w as usize] == side[v] {
+                    g -= wt; // moving v would cut this edge
+                } else {
+                    g += wt; // moving v would uncut it
+                }
+            }
+            g
+        };
+
+        let mut heap: std::collections::BinaryHeap<(i64, u32)> = (0..n as u32)
+            .map(|v| (gain_of(v as usize, side), v))
+            .collect();
+        let mut locked = vec![false; n];
+        let mut cur_cut = graph.cut_weight(side);
+        let mut pass_best_cut = cur_cut;
+        let mut moves: Vec<u32> = Vec::new();
+        let mut best_prefix = 0usize;
+
+        while let Some((stale_gain, v)) = heap.pop() {
+            let vu = v as usize;
+            if locked[vu] {
+                continue;
+            }
+            let fresh = gain_of(vu, side);
+            if fresh < stale_gain {
+                heap.push((fresh, v));
+                continue;
+            }
+            // Balance check for the tentative move.
+            let w = graph.vwgt[vu];
+            let fits = if side[vu] {
+                weight_false + w <= limits.max_false
+            } else {
+                weight_true + w <= limits.max_true
+            };
+            if !fits {
+                locked[vu] = true; // cannot move this pass
+                continue;
+            }
+            // Apply the move.
+            if side[vu] {
+                weight_true -= w;
+                weight_false += w;
+            } else {
+                weight_false -= w;
+                weight_true += w;
+            }
+            side[vu] = !side[vu];
+            locked[vu] = true;
+            cur_cut = (cur_cut as i64 - fresh) as u64;
+            moves.push(v);
+            if cur_cut < pass_best_cut {
+                pass_best_cut = cur_cut;
+                best_prefix = moves.len();
+            }
+            for &nb in graph.neighbors(vu) {
+                if !locked[nb as usize] {
+                    heap.push((gain_of(nb as usize, side), nb));
+                }
+            }
+        }
+
+        // Rewind moves beyond the best prefix.
+        for &v in &moves[best_prefix..] {
+            side[v as usize] = !side[v as usize];
+        }
+        if pass_best_cut >= best_cut {
+            // No improvement this pass (the rewind restored best state).
+            break;
+        }
+        best_cut = pass_best_cut;
+    }
+    best_cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::{gen, CsrGraph};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn improves_a_bad_bisection() {
+        let g = WGraph::from_graph(&gen::mesh3d(6, 6, 6));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut side: Vec<bool> = (0..g.len()).map(|_| rng.gen_bool(0.5)).collect();
+        let before = g.cut_weight(&side);
+        let limits = SideLimits::proportional(g.total_weight(), 0.5, 1.10);
+        let after = fm_refine(&g, &mut side, limits, 8);
+        assert!(after < before / 2, "FM only improved {before} -> {after}");
+        assert_eq!(after, g.cut_weight(&side), "returned cut must match state");
+    }
+
+    #[test]
+    fn respects_balance_limits() {
+        let g = WGraph::from_graph(&gen::mesh3d(5, 5, 5));
+        let mut side: Vec<bool> = (0..g.len()).map(|v| v % 2 == 0).collect();
+        let limits = SideLimits::proportional(g.total_weight(), 0.5, 1.10);
+        fm_refine(&g, &mut side, limits, 8);
+        let wt: u64 = (0..g.len()).filter(|&v| side[v]).map(|v| g.vwgt[v]).sum();
+        assert!(wt <= limits.max_true);
+        assert!(g.total_weight() - wt <= limits.max_false);
+    }
+
+    #[test]
+    fn optimal_bisection_is_stable() {
+        // Two triangles joined by one edge: the single-edge cut is optimal.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let wg = WGraph::from_graph(&g);
+        let mut side = vec![true, true, true, false, false, false];
+        let limits = SideLimits::proportional(6, 0.5, 1.10);
+        let cut = fm_refine(&wg, &mut side, limits, 4);
+        assert_eq!(cut, 1);
+        assert_eq!(side, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn weighted_edges_guide_refinement() {
+        // Path 0-1-2 with heavy edge 0-1: cut must fall on 1-2.
+        let wg = WGraph {
+            xadj: vec![0, 1, 3, 4],
+            adjncy: vec![1, 0, 2, 1],
+            adjwgt: vec![10, 10, 1, 1],
+            vwgt: vec![1, 1, 1],
+        };
+        let mut side = vec![true, false, false]; // cuts the heavy edge
+        let limits = SideLimits {
+            max_true: 2,
+            max_false: 2,
+        };
+        let cut = fm_refine(&wg, &mut side, limits, 4);
+        assert_eq!(cut, 1);
+        assert_eq!(side[0], side[1], "heavy pair must end up together");
+    }
+}

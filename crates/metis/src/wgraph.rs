@@ -1,0 +1,176 @@
+//! Weighted graph representation used by the multilevel pipeline.
+
+use apg_graph::Graph;
+
+/// A vertex- and edge-weighted undirected graph in CSR form.
+///
+/// Coarsening accumulates contracted vertices into `vwgt` and merged
+/// parallel edges into `adjwgt`, so cuts and balance computed on a coarse
+/// graph equal those of the fine graph under the projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WGraph {
+    /// CSR offsets, length `n + 1`.
+    pub xadj: Vec<usize>,
+    /// Neighbour ids (compact, `0..n`).
+    pub adjncy: Vec<u32>,
+    /// Edge weights, parallel to `adjncy`.
+    pub adjwgt: Vec<u64>,
+    /// Vertex weights, length `n`.
+    pub vwgt: Vec<u64>,
+}
+
+impl WGraph {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vwgt.is_empty()
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Neighbour slice of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Edge-weight slice of `v`, parallel to [`WGraph::neighbors`].
+    pub fn weights(&self, v: usize) -> &[u64] {
+        &self.adjwgt[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Builds a unit-weight `WGraph` over the live vertices of `graph`,
+    /// compacting ids so tombstones disappear.
+    pub fn from_graph<G: Graph>(graph: &G) -> Self {
+        let mut compact = vec![u32::MAX; graph.num_vertices()];
+        for (i, v) in graph.vertices().enumerate() {
+            compact[v as usize] = i as u32;
+        }
+        let n = graph.num_live_vertices();
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy = Vec::new();
+        xadj.push(0);
+        for v in graph.vertices() {
+            for &w in graph.neighbors(v) {
+                adjncy.push(compact[w as usize]);
+            }
+            xadj.push(adjncy.len());
+        }
+        let adjwgt = vec![1u64; adjncy.len()];
+        WGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt: vec![1u64; n],
+        }
+    }
+
+    /// Extracts the subgraph induced by the vertices with `side[v] == keep`,
+    /// returning the subgraph and the map from new compact id to old id.
+    pub fn subgraph(&self, side: &[bool], keep: bool) -> (WGraph, Vec<u32>) {
+        let mut old_of_new = Vec::new();
+        let mut new_of_old = vec![u32::MAX; self.len()];
+        for v in 0..self.len() {
+            if side[v] == keep {
+                new_of_old[v] = old_of_new.len() as u32;
+                old_of_new.push(v as u32);
+            }
+        }
+        let mut xadj = Vec::with_capacity(old_of_new.len() + 1);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(old_of_new.len());
+        xadj.push(0);
+        for &old in &old_of_new {
+            let old = old as usize;
+            for (idx, &w) in self.neighbors(old).iter().enumerate() {
+                let mapped = new_of_old[w as usize];
+                if mapped != u32::MAX {
+                    adjncy.push(mapped);
+                    adjwgt.push(self.weights(old)[idx]);
+                }
+            }
+            xadj.push(adjncy.len());
+            vwgt.push(self.vwgt[old]);
+        }
+        (
+            WGraph {
+                xadj,
+                adjncy,
+                adjwgt,
+                vwgt,
+            },
+            old_of_new,
+        )
+    }
+
+    /// Sum of edge weights crossing the bisection `side`.
+    pub fn cut_weight(&self, side: &[bool]) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..self.len() {
+            for (idx, &w) in self.neighbors(v).iter().enumerate() {
+                if (w as usize) > v && side[v] != side[w as usize] {
+                    cut += self.weights(v)[idx];
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::CsrGraph;
+
+    fn wg() -> WGraph {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        WGraph::from_graph(&g)
+    }
+
+    #[test]
+    fn from_graph_unit_weights() {
+        let g = wg();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.total_weight(), 4);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.weights(0), &[1, 1]);
+    }
+
+    #[test]
+    fn compacts_tombstones() {
+        use apg_graph::DynGraph;
+        let mut d = DynGraph::with_vertices(4);
+        d.add_edge(0, 1);
+        d.add_edge(1, 3);
+        d.remove_vertex(2);
+        let g = WGraph::from_graph(&d);
+        assert_eq!(g.len(), 3);
+        // Old vertex 3 is now compact id 2.
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn cut_weight_of_square() {
+        let g = wg();
+        // Opposite corners together: both diagonals cut -> 4 edges cut.
+        assert_eq!(g.cut_weight(&[true, false, true, false]), 4);
+        // Adjacent pairs: 2 edges cut.
+        assert_eq!(g.cut_weight(&[true, true, false, false]), 2);
+    }
+
+    #[test]
+    fn subgraph_extraction() {
+        let g = wg();
+        let (sub, map) = g.subgraph(&[true, true, false, false], true);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(map, vec![0, 1]);
+        assert_eq!(sub.neighbors(0), &[1]); // edge 0-1 survives; 0-3 dropped
+    }
+}

@@ -1,0 +1,261 @@
+//! Initial partitioning strategies (paper §4.2.1).
+//!
+//! The adaptive heuristic can start from any partitioning; the paper tests
+//! four and shows it improves three of them substantially (Figure 4). Note
+//! the paper's observation that DGR "depends on full graph knowledge
+//! (destinations of already allocated vertices), which poses limits to its
+//! scalability" — it is implemented here as a baseline, not a recommendation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use apg_graph::{Graph, VertexId};
+
+use crate::capacity::CapacityModel;
+use crate::partitioning::{PartitionId, Partitioning};
+
+/// The four initial partitioning strategies of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InitialStrategy {
+    /// **HSH** — `H(v) mod k`; the common default in large-scale systems.
+    Hash,
+    /// **RND** — pseudorandom assignment, kept balanced.
+    Random,
+    /// **DGR** — stream-based linear deterministic greedy (Stanton & Kliot):
+    /// place each vertex with the most already-placed neighbours, weighted
+    /// by remaining capacity.
+    DeterministicGreedy,
+    /// **MNN** — stream-based minimum number of neighbours (Prabhakaran et
+    /// al.): place each vertex where it has the *fewest* already-placed
+    /// neighbours, spreading hubs apart.
+    MinNeighbors,
+}
+
+impl InitialStrategy {
+    /// All four strategies in the paper's plotting order (DGR, HSH, MNN, RND).
+    pub const ALL: [InitialStrategy; 4] = [
+        InitialStrategy::DeterministicGreedy,
+        InitialStrategy::Hash,
+        InitialStrategy::Random,
+        InitialStrategy::MinNeighbors,
+    ];
+
+    /// Short name as used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InitialStrategy::Hash => "HSH",
+            InitialStrategy::Random => "RND",
+            InitialStrategy::DeterministicGreedy => "DGR",
+            InitialStrategy::MinNeighbors => "MNN",
+        }
+    }
+
+    /// Produces an initial assignment of `graph` into
+    /// `caps.num_partitions()` partitions.
+    ///
+    /// `seed` makes the randomised strategies (RND, and tie-breaks in the
+    /// streaming ones) reproducible; `Hash` ignores it.
+    pub fn assign<G: Graph>(&self, graph: &G, caps: &CapacityModel, seed: u64) -> Partitioning {
+        match self {
+            InitialStrategy::Hash => hash_assign(graph, caps.num_partitions()),
+            InitialStrategy::Random => random_assign(graph, caps.num_partitions(), seed),
+            InitialStrategy::DeterministicGreedy => greedy_stream(graph, caps, seed, true),
+            InitialStrategy::MinNeighbors => greedy_stream(graph, caps, seed, false),
+        }
+    }
+}
+
+impl std::fmt::Display for InitialStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// SplitMix64 — cheap, well-mixed integer hash for `H(v) mod k`.
+#[inline]
+pub fn hash_vertex(v: VertexId) -> u64 {
+    let mut z = (v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash_assign<G: Graph>(graph: &G, k: PartitionId) -> Partitioning {
+    let mut p = Partitioning::new(graph.num_vertices(), k);
+    let assignment: Vec<PartitionId> = (0..graph.num_vertices() as VertexId)
+        .map(|v| (hash_vertex(v) % k as u64) as PartitionId)
+        .collect();
+    p.assign_all(&assignment);
+    p
+}
+
+fn random_assign<G: Graph>(graph: &G, k: PartitionId, seed: u64) -> Partitioning {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.shuffle(&mut rng);
+    let mut assignment = vec![0 as PartitionId; n];
+    // Dealing a shuffled deck round-robin yields balanced pseudorandom
+    // partitions, matching the paper's "still ensuring balanced partitions".
+    for (i, &v) in order.iter().enumerate() {
+        assignment[v as usize] = (i % k as usize) as PartitionId;
+    }
+    Partitioning::from_assignment(assignment, k)
+}
+
+/// Shared skeleton of the two streaming heuristics: for each vertex in
+/// stream order, count already-placed neighbours per partition and score
+/// candidates. `maximise` selects DGR (capacity-weighted max) vs MNN (min).
+fn greedy_stream<G: Graph>(
+    graph: &G,
+    caps: &CapacityModel,
+    seed: u64,
+    maximise: bool,
+) -> Partitioning {
+    let k = caps.num_partitions();
+    let n = graph.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    // Stream order is randomised once: both heuristics are defined over a
+    // single streaming pass whose order the system does not control.
+    order.shuffle(&mut rng);
+
+    let mut assignment = vec![0 as PartitionId; n];
+    let mut placed = vec![false; n];
+    let mut loads = vec![0usize; k as usize];
+    let mut neighbour_counts = vec![0usize; k as usize];
+
+    for &v in &order {
+        neighbour_counts.iter_mut().for_each(|c| *c = 0);
+        for &w in graph.neighbors(v) {
+            if placed[w as usize] {
+                neighbour_counts[assignment[w as usize] as usize] += 1;
+            }
+        }
+        let mut best: Option<(f64, usize, PartitionId)> = None;
+        for p in 0..k {
+            let load = loads[p as usize];
+            let cap = caps.capacity(p);
+            if load >= cap {
+                continue; // full
+            }
+            let score = if maximise {
+                // LDG: neighbours weighted by remaining-capacity fraction.
+                neighbour_counts[p as usize] as f64 * (1.0 - load as f64 / cap as f64)
+            } else {
+                // MNN: fewest neighbours; negate so "bigger is better".
+                -(neighbour_counts[p as usize] as f64)
+            };
+            let candidate = (score, load, p);
+            best = Some(match best {
+                None => candidate,
+                // Higher score wins; ties prefer the lighter partition.
+                Some(cur) if score > cur.0 || (score == cur.0 && load < cur.1) => candidate,
+                Some(cur) => cur,
+            });
+        }
+        let (_, _, choice) = best.expect("capacities sum to >= |V|, so some partition has room");
+        assignment[v as usize] = choice;
+        placed[v as usize] = true;
+        loads[choice as usize] += 1;
+    }
+    Partitioning::from_assignment(assignment, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{cut_ratio, vertex_imbalance};
+    use apg_graph::gen;
+
+    fn caps(n: usize, k: PartitionId) -> CapacityModel {
+        CapacityModel::vertex_balanced(n, k, 1.10)
+    }
+
+    #[test]
+    fn all_strategies_cover_all_vertices() {
+        let g = gen::mesh3d(8, 8, 8);
+        let c = caps(512, 9);
+        for s in InitialStrategy::ALL {
+            let p = s.assign(&g, &c, 7);
+            assert_eq!(p.num_vertices(), 512, "{s}");
+            let total: usize = p.sizes().iter().sum();
+            assert_eq!(total, 512, "{s}");
+        }
+    }
+
+    #[test]
+    fn random_is_balanced() {
+        let g = gen::mesh3d(8, 8, 8);
+        let p = InitialStrategy::Random.assign(&g, &caps(512, 9), 3);
+        assert!(vertex_imbalance(&p) < 1.02);
+    }
+
+    #[test]
+    fn streaming_strategies_respect_capacity() {
+        let g = gen::holme_kim(1000, 5, 0.1, 2);
+        let c = caps(1000, 9);
+        for s in [InitialStrategy::DeterministicGreedy, InitialStrategy::MinNeighbors] {
+            let p = s.assign(&g, &c, 5);
+            for part in 0..9 {
+                assert!(
+                    p.size(part) <= c.capacity(part),
+                    "{s} overflowed partition {part}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dgr_cuts_fewer_edges_than_hash_on_meshes() {
+        // Figure 4's qualitative ordering: DGR produces a far better initial
+        // cut than hash on FEM graphs.
+        let g = gen::mesh3d(12, 12, 12);
+        let c = caps(1728, 9);
+        let dgr = cut_ratio(&g, &InitialStrategy::DeterministicGreedy.assign(&g, &c, 1));
+        let hsh = cut_ratio(&g, &InitialStrategy::Hash.assign(&g, &c, 1));
+        assert!(dgr < 0.6 * hsh, "DGR {dgr} vs HSH {hsh}");
+    }
+
+    #[test]
+    fn mnn_scatters_like_random() {
+        // MNN deliberately spreads neighbours, so its initial cut is high —
+        // in the paper it starts roughly as bad as RND/HSH.
+        let g = gen::mesh3d(10, 10, 10);
+        let c = caps(1000, 9);
+        let mnn = cut_ratio(&g, &InitialStrategy::MinNeighbors.assign(&g, &c, 1));
+        assert!(mnn > 0.7, "MNN cut ratio unexpectedly low: {mnn}");
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_seed_independent() {
+        let g = gen::mesh3d(6, 6, 6);
+        let c = caps(216, 4);
+        let a = InitialStrategy::Hash.assign(&g, &c, 1);
+        let b = InitialStrategy::Hash.assign(&g, &c, 999);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<_> = InitialStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert!(labels.contains(&"DGR"));
+        assert!(labels.contains(&"HSH"));
+        assert!(labels.contains(&"MNN"));
+        assert!(labels.contains(&"RND"));
+    }
+
+    #[test]
+    fn hash_vertex_mixes() {
+        // Consecutive ids land in different buckets reasonably often.
+        let k = 9u64;
+        let mut same = 0;
+        for v in 0..1000u32 {
+            if hash_vertex(v) % k == hash_vertex(v + 1) % k {
+                same += 1;
+            }
+        }
+        assert!(same < 250, "poor mixing: {same}/1000 collisions");
+    }
+}

@@ -1,0 +1,247 @@
+//! Partition quality metrics.
+//!
+//! The paper's gold standard (§4.2) is the **cut ratio**: cut edges
+//! normalised by total edges. Balance metrics quantify the "node
+//! densification" effect the capacity quotas exist to prevent.
+
+use apg_graph::Graph;
+
+use crate::partitioning::Partitioning;
+
+/// Number of edges whose endpoints lie in different partitions.
+///
+/// Counts each undirected edge once. Tombstoned vertices contribute nothing
+/// (their adjacency is empty in a [`apg_graph::DynGraph`]).
+pub fn cut_edges<G: Graph>(graph: &G, partitioning: &Partitioning) -> usize {
+    let mut cut = 0usize;
+    for v in graph.vertices() {
+        let pv = partitioning.partition_of(v);
+        for &w in graph.neighbors(v) {
+            if w > v && partitioning.partition_of(w) != pv {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Cut edges normalised by total edges — the paper's quality measure.
+///
+/// Returns 0 for edgeless graphs.
+pub fn cut_ratio<G: Graph>(graph: &G, partitioning: &Partitioning) -> f64 {
+    let e = graph.num_edges();
+    if e == 0 {
+        0.0
+    } else {
+        cut_edges(graph, partitioning) as f64 / e as f64
+    }
+}
+
+/// Vertex imbalance: `max_i |P(i)| / (|V| / k)`.
+///
+/// 1.0 is perfectly balanced; the paper's capacity setting bounds this at
+/// the capacity factor (1.10 in the evaluation).
+pub fn vertex_imbalance(partitioning: &Partitioning) -> f64 {
+    let total: usize = partitioning.sizes().iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let k = partitioning.num_partitions() as f64;
+    let max = *partitioning.sizes().iter().max().expect("k >= 1") as f64;
+    max / (total as f64 / k)
+}
+
+/// Edge-endpoint imbalance: `max_i deg(P(i)) / (2|E| / k)`.
+///
+/// The quantity the paper's §6 future-work extension balances.
+pub fn edge_imbalance<G: Graph>(graph: &G, partitioning: &Partitioning) -> f64 {
+    let k = partitioning.num_partitions() as usize;
+    let mut degree_mass = vec![0usize; k];
+    for v in graph.vertices() {
+        degree_mass[partitioning.partition_of(v) as usize] += graph.degree(v);
+    }
+    let total: usize = degree_mass.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = *degree_mass.iter().max().expect("k >= 1") as f64;
+    max / (total as f64 / k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::CsrGraph;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn cut_edges_counts_cross_partition_edges_once() {
+        let g = path4();
+        let p = Partitioning::from_assignment(vec![0, 0, 1, 1], 2);
+        assert_eq!(cut_edges(&g, &p), 1);
+        assert!((cut_ratio(&g, &p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_in_one_partition_cuts_nothing() {
+        let g = path4();
+        let p = Partitioning::new(4, 2);
+        assert_eq!(cut_edges(&g, &p), 0);
+        assert_eq!(cut_ratio(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn alternating_assignment_cuts_everything() {
+        let g = path4();
+        let p = Partitioning::from_assignment(vec![0, 1, 0, 1], 2);
+        assert_eq!(cut_edges(&g, &p), 3);
+        assert_eq!(cut_ratio(&g, &p), 1.0);
+    }
+
+    #[test]
+    fn cut_ratio_of_edgeless_graph_is_zero() {
+        let g = CsrGraph::from_edges(3, &[]);
+        let p = Partitioning::new(3, 2);
+        assert_eq!(cut_ratio(&g, &p), 0.0);
+    }
+
+    #[test]
+    fn vertex_imbalance_detects_densification() {
+        let balanced = Partitioning::from_assignment(vec![0, 0, 1, 1], 2);
+        assert!((vertex_imbalance(&balanced) - 1.0).abs() < 1e-12);
+        let skewed = Partitioning::from_assignment(vec![0, 0, 0, 1], 2);
+        assert!((vertex_imbalance(&skewed) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_imbalance_weights_by_degree() {
+        // Star centred at 0: all degree mass concentrates with the centre.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let p = Partitioning::from_assignment(vec![0, 1, 1, 1], 2);
+        // degree mass: p0 = 3, p1 = 3 -> balanced.
+        assert!((edge_imbalance(&g, &p) - 1.0).abs() < 1e-12);
+        let p2 = Partitioning::from_assignment(vec![0, 0, 0, 1], 2);
+        // p0 = 3 + 1 + 1 = 5, p1 = 1 -> 5 / 3.
+        assert!((edge_imbalance(&g, &p2) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tombstones_do_not_affect_cut() {
+        use apg_graph::DynGraph;
+        let mut g = DynGraph::with_vertices(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let p = Partitioning::from_assignment(vec![0, 1, 0, 1], 2);
+        assert_eq!(cut_edges(&g, &p), 2);
+        g.remove_vertex(3);
+        assert_eq!(cut_edges(&g, &p), 1);
+    }
+}
+
+/// Per-partition communication summary for a BSP superstep in which every
+/// vertex messages all neighbours once — the load model behind the paper's
+/// time-per-iteration plots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunicationProfile {
+    /// Messages each partition sends to other partitions.
+    pub remote_out: Vec<usize>,
+    /// Messages each partition delivers internally.
+    pub local: Vec<usize>,
+    /// Vertices with at least one neighbour in another partition.
+    pub boundary_vertices: Vec<usize>,
+}
+
+impl CommunicationProfile {
+    /// Total remote messages (both directions of every cut edge).
+    pub fn total_remote(&self) -> usize {
+        self.remote_out.iter().sum()
+    }
+
+    /// Max-to-mean skew of outbound remote traffic — the quantity that
+    /// gates the BSP barrier when messaging dominates.
+    pub fn remote_skew(&self) -> f64 {
+        let total = self.total_remote();
+        if total == 0 {
+            return 1.0;
+        }
+        let k = self.remote_out.len() as f64;
+        let max = *self.remote_out.iter().max().expect("k >= 1") as f64;
+        max / (total as f64 / k)
+    }
+}
+
+/// Computes the [`CommunicationProfile`] of a partitioning.
+pub fn communication_profile<G: Graph>(
+    graph: &G,
+    partitioning: &Partitioning,
+) -> CommunicationProfile {
+    let k = partitioning.num_partitions() as usize;
+    let mut remote_out = vec![0usize; k];
+    let mut local = vec![0usize; k];
+    let mut boundary = vec![0usize; k];
+    for v in graph.vertices() {
+        let pv = partitioning.partition_of(v) as usize;
+        let mut is_boundary = false;
+        for &w in graph.neighbors(v) {
+            if partitioning.partition_of(w) as usize == pv {
+                local[pv] += 1;
+            } else {
+                remote_out[pv] += 1;
+                is_boundary = true;
+            }
+        }
+        if is_boundary {
+            boundary[pv] += 1;
+        }
+    }
+    CommunicationProfile {
+        remote_out,
+        local,
+        boundary_vertices: boundary,
+    }
+}
+
+#[cfg(test)]
+mod comm_tests {
+    use super::*;
+    use apg_graph::CsrGraph;
+
+    #[test]
+    fn profile_of_split_path() {
+        // 0-1-2-3 split in the middle.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let p = Partitioning::from_assignment(vec![0, 0, 1, 1], 2);
+        let prof = communication_profile(&g, &p);
+        assert_eq!(prof.total_remote(), 2); // edge 1-2, both directions
+        assert_eq!(prof.local, vec![2, 2]);
+        assert_eq!(prof.boundary_vertices, vec![1, 1]);
+        assert!((prof.remote_skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_detects_hub_concentration() {
+        // Star centre in partition 0 alone: p0 sends 4 remote, others few.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let p = Partitioning::from_assignment(vec![0, 1, 1, 1, 1], 2);
+        let prof = communication_profile(&g, &p);
+        assert_eq!(prof.remote_out, vec![4, 4]);
+        // Balanced here; now isolate a leaf to partition 0 with the hub.
+        let p2 = Partitioning::from_assignment(vec![0, 0, 1, 1, 1], 2);
+        let prof2 = communication_profile(&g, &p2);
+        assert_eq!(prof2.remote_out[0], 3);
+        assert_eq!(prof2.remote_out[1], 3);
+        assert_eq!(prof2.local[0], 2);
+    }
+
+    #[test]
+    fn empty_graph_profile() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let p = Partitioning::new(0, 3);
+        let prof = communication_profile(&g, &p);
+        assert_eq!(prof.total_remote(), 0);
+        assert_eq!(prof.remote_skew(), 1.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The k-way partition assignment.
+
+use serde::{Deserialize, Serialize};
+
+use apg_graph::{Graph, VertexId};
+
+/// Identifier of a partition, `0..k`.
+///
+/// `u16` supports up to 65 535 partitions — far beyond the paper's scale
+/// (9–63) — while keeping the per-vertex assignment array dense.
+pub type PartitionId = u16;
+
+/// A `k`-way assignment of vertices to partitions.
+///
+/// Maintains the per-partition vertex counts incrementally so size lookups —
+/// the input to the paper's capacity quotas — are O(1).
+///
+/// # Example
+///
+/// ```
+/// use apg_partition::Partitioning;
+///
+/// let mut p = Partitioning::new(4, 3);
+/// p.assign_all(&[0, 1, 2, 0]);
+/// assert_eq!(p.size(0), 2);
+/// p.move_vertex(3, 1);
+/// assert_eq!(p.size(0), 1);
+/// assert_eq!(p.size(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioning {
+    assignment: Vec<PartitionId>,
+    sizes: Vec<usize>,
+}
+
+impl Partitioning {
+    /// Creates an assignment of `n` vertices, all initially in partition 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(n: usize, k: PartitionId) -> Self {
+        assert!(k > 0, "need at least one partition");
+        let mut sizes = vec![0usize; k as usize];
+        sizes[0] = n;
+        Partitioning {
+            assignment: vec![0; n],
+            sizes,
+        }
+    }
+
+    /// Builds a partitioning from an explicit assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or any entry is `>= k`.
+    pub fn from_assignment(assignment: Vec<PartitionId>, k: PartitionId) -> Self {
+        assert!(k > 0, "need at least one partition");
+        let mut sizes = vec![0usize; k as usize];
+        for &p in &assignment {
+            assert!(p < k, "partition id {p} out of range for k={k}");
+            sizes[p as usize] += 1;
+        }
+        Partitioning { assignment, sizes }
+    }
+
+    /// Number of partitions `k`.
+    pub fn num_partitions(&self) -> PartitionId {
+        self.sizes.len() as PartitionId
+    }
+
+    /// Number of vertex slots tracked.
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Partition of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn partition_of(&self, v: VertexId) -> PartitionId {
+        self.assignment[v as usize]
+    }
+
+    /// Current size of partition `p`.
+    #[inline]
+    pub fn size(&self, p: PartitionId) -> usize {
+        self.sizes[p as usize]
+    }
+
+    /// All partition sizes, indexed by partition id.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Reassigns vertex `v` to partition `to`, updating counts.
+    ///
+    /// Returns the previous partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `to` is out of range.
+    pub fn move_vertex(&mut self, v: VertexId, to: PartitionId) -> PartitionId {
+        assert!((to as usize) < self.sizes.len(), "partition {to} out of range");
+        let from = self.assignment[v as usize];
+        if from != to {
+            self.sizes[from as usize] -= 1;
+            self.sizes[to as usize] += 1;
+            self.assignment[v as usize] = to;
+        }
+        from
+    }
+
+    /// Overwrites the whole assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any entry is out of range.
+    pub fn assign_all(&mut self, assignment: &[PartitionId]) {
+        assert_eq!(assignment.len(), self.assignment.len(), "length mismatch");
+        let k = self.num_partitions();
+        self.sizes.iter_mut().for_each(|s| *s = 0);
+        for (slot, &p) in self.assignment.iter_mut().zip(assignment) {
+            assert!(p < k, "partition id {p} out of range for k={k}");
+            *slot = p;
+            self.sizes[p as usize] += 1;
+        }
+    }
+
+    /// Grows the assignment to cover `n` vertices, placing new slots in the
+    /// given partition. Used when dynamic graphs add vertices.
+    pub fn grow_to(&mut self, n: usize, p: PartitionId) {
+        assert!((p as usize) < self.sizes.len(), "partition {p} out of range");
+        if n > self.assignment.len() {
+            self.sizes[p as usize] += n - self.assignment.len();
+            self.assignment.resize(n, p);
+        }
+    }
+
+    /// Removes a vertex from the size accounting (its slot keeps the stale
+    /// label; callers must treat tombstoned vertices as unassigned).
+    pub fn forget_vertex(&mut self, v: VertexId) {
+        let p = self.assignment[v as usize];
+        self.sizes[p as usize] -= 1;
+    }
+
+    /// Raw assignment slice (one entry per vertex slot).
+    pub fn as_slice(&self) -> &[PartitionId] {
+        &self.assignment
+    }
+
+    /// Recomputes sizes counting only live vertices of `graph`.
+    ///
+    /// After vertex removals the incremental sizes are maintained through
+    /// [`Partitioning::forget_vertex`]; this is the O(n) consistency check /
+    /// repair used by tests and the engine's invariant audits.
+    pub fn recount_live<G: Graph>(&mut self, graph: &G) {
+        self.sizes.iter_mut().for_each(|s| *s = 0);
+        for v in graph.vertices() {
+            self.sizes[self.assignment[v as usize] as usize] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_puts_everything_in_partition_zero() {
+        let p = Partitioning::new(5, 3);
+        assert_eq!(p.size(0), 5);
+        assert_eq!(p.size(1), 0);
+        assert_eq!(p.num_partitions(), 3);
+    }
+
+    #[test]
+    fn move_vertex_updates_sizes() {
+        let mut p = Partitioning::new(4, 2);
+        let from = p.move_vertex(2, 1);
+        assert_eq!(from, 0);
+        assert_eq!(p.size(0), 3);
+        assert_eq!(p.size(1), 1);
+        // Moving to the same partition is a no-op.
+        assert_eq!(p.move_vertex(2, 1), 1);
+        assert_eq!(p.size(1), 1);
+    }
+
+    #[test]
+    fn from_assignment_counts() {
+        let p = Partitioning::from_assignment(vec![0, 1, 1, 2], 3);
+        assert_eq!(p.sizes(), &[1, 2, 1]);
+        assert_eq!(p.partition_of(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_assignment_validates() {
+        let _ = Partitioning::from_assignment(vec![0, 5], 3);
+    }
+
+    #[test]
+    fn grow_and_forget() {
+        let mut p = Partitioning::new(2, 2);
+        p.grow_to(4, 1);
+        assert_eq!(p.num_vertices(), 4);
+        assert_eq!(p.size(1), 2);
+        p.forget_vertex(3);
+        assert_eq!(p.size(1), 1);
+    }
+
+    #[test]
+    fn recount_live_skips_tombstones() {
+        use apg_graph::DynGraph;
+        let mut g = DynGraph::with_vertices(4);
+        g.remove_vertex(1);
+        let mut p = Partitioning::from_assignment(vec![0, 0, 1, 1], 2);
+        p.recount_live(&g);
+        assert_eq!(p.sizes(), &[1, 2]);
+    }
+}
+
+impl Partitioning {
+    /// Serialises the assignment as plain text: a header line `k n`, then
+    /// one partition id per line. Stable across versions; intended for
+    /// persisting partition maps between runs (the paper's motivation for
+    /// adaptation is precisely avoiding recomputing these from scratch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_text<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "{} {}", self.num_partitions(), self.num_vertices())?;
+        for &p in &self.assignment {
+            writeln!(writer, "{p}")?;
+        }
+        Ok(())
+    }
+
+    /// Reads an assignment written by [`Partitioning::write_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed headers, short files, or
+    /// out-of-range partition ids.
+    pub fn read_text<R: std::io::Read>(reader: R) -> std::io::Result<Partitioning> {
+        use std::io::{BufRead, BufReader, Error, ErrorKind};
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+        let mut lines = BufReader::new(reader).lines();
+        let header = lines.next().ok_or_else(|| bad("empty partition file"))??;
+        let mut parts = header.split_whitespace();
+        let k: PartitionId = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("malformed header"))?;
+        let n: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("malformed header"))?;
+        if k == 0 {
+            return Err(bad("k must be positive"));
+        }
+        let mut assignment = Vec::with_capacity(n);
+        for line in lines.take(n) {
+            let p: PartitionId = line?
+                .trim()
+                .parse()
+                .map_err(|_| bad("malformed partition id"))?;
+            if p >= k {
+                return Err(bad("partition id out of range"));
+            }
+            assignment.push(p);
+        }
+        if assignment.len() != n {
+            return Err(bad("truncated partition file"));
+        }
+        Ok(Partitioning::from_assignment(assignment, k))
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let p = Partitioning::from_assignment(vec![0, 2, 1, 2, 0], 3);
+        let mut buf = Vec::new();
+        p.write_text(&mut buf).unwrap();
+        let q = Partitioning::read_text(&buf[..]).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let err = Partitioning::read_text("2 2\n0\n5\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation_and_garbage() {
+        assert!(Partitioning::read_text("3 5\n0\n1\n".as_bytes()).is_err());
+        assert!(Partitioning::read_text("x y\n".as_bytes()).is_err());
+        assert!(Partitioning::read_text("".as_bytes()).is_err());
+        assert!(Partitioning::read_text("0 0\n".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Graph mutations streamed into the running engine (paper §3: "vertices/
+//! edges can be injected/removed from the graph during the computation from
+//! a stream").
+
+use apg_graph::VertexId;
+
+/// A batch of graph changes applied atomically at a superstep boundary.
+///
+/// Vertex additions receive their ids from the engine when the batch is
+/// applied; [`MutationBatch::add_vertex`] returns a *placeholder index* that
+/// can be used to wire batch-internal edges before ids exist.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MutationBatch {
+    /// Adjacency (to existing vertices) of each new vertex.
+    pub(crate) new_vertices: Vec<Vec<VertexId>>,
+    /// Edges between new vertices, as (placeholder, placeholder).
+    pub(crate) new_internal_edges: Vec<(usize, usize)>,
+    /// Edges between existing vertices.
+    pub(crate) add_edges: Vec<(VertexId, VertexId)>,
+    /// Edge removals.
+    pub(crate) remove_edges: Vec<(VertexId, VertexId)>,
+    /// Vertex removals (incident edges go too).
+    pub(crate) remove_vertices: Vec<VertexId>,
+}
+
+impl MutationBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self == &Self::default()
+    }
+
+    /// Schedules a new vertex attached to `neighbors` (existing ids).
+    /// Returns its placeholder index within this batch.
+    pub fn add_vertex(&mut self, neighbors: Vec<VertexId>) -> usize {
+        self.new_vertices.push(neighbors);
+        self.new_vertices.len() - 1
+    }
+
+    /// Connects two vertices added in *this* batch, by placeholder index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either placeholder is out of range.
+    pub fn connect_new(&mut self, a: usize, b: usize) {
+        assert!(a < self.new_vertices.len() && b < self.new_vertices.len());
+        self.new_internal_edges.push((a, b));
+    }
+
+    /// Schedules an edge between existing vertices.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        self.add_edges.push((u, v));
+    }
+
+    /// Schedules an edge removal.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) {
+        self.remove_edges.push((u, v));
+    }
+
+    /// Schedules a vertex removal.
+    pub fn remove_vertex(&mut self, v: VertexId) {
+        self.remove_vertices.push(v);
+    }
+
+    /// Number of scheduled vertex additions.
+    pub fn num_new_vertices(&self) -> usize {
+        self.new_vertices.len()
+    }
+
+    /// Merges another batch after this one.
+    pub fn extend(&mut self, mut other: MutationBatch) {
+        let offset = self.new_vertices.len();
+        self.new_vertices.append(&mut other.new_vertices);
+        self.new_internal_edges
+            .extend(other.new_internal_edges.iter().map(|&(a, b)| (a + offset, b + offset)));
+        self.add_edges.append(&mut other.add_edges);
+        self.remove_edges.append(&mut other.remove_edges);
+        self.remove_vertices.append(&mut other.remove_vertices);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_batch() {
+        let mut b = MutationBatch::new();
+        assert!(b.is_empty());
+        let a = b.add_vertex(vec![1, 2]);
+        let c = b.add_vertex(vec![]);
+        b.connect_new(a, c);
+        b.add_edge(1, 3);
+        b.remove_edge(2, 3);
+        b.remove_vertex(9);
+        assert!(!b.is_empty());
+        assert_eq!(b.num_new_vertices(), 2);
+    }
+
+    #[test]
+    fn extend_offsets_placeholders() {
+        let mut first = MutationBatch::new();
+        first.add_vertex(vec![]);
+        let mut second = MutationBatch::new();
+        let x = second.add_vertex(vec![]);
+        let y = second.add_vertex(vec![]);
+        second.connect_new(x, y);
+        first.extend(second);
+        assert_eq!(first.new_internal_edges, vec![(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn connect_new_validates() {
+        let mut b = MutationBatch::new();
+        b.connect_new(0, 1);
+    }
+}

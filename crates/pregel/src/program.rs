@@ -1,0 +1,246 @@
+//! The vertex-program abstraction (the "Pregel API" layer of Figure 2).
+
+use std::collections::HashMap;
+
+use apg_graph::VertexId;
+
+use crate::worker::{WorkerCounters, WorkerId};
+
+/// A user computation in the vertex-centric BSP model.
+///
+/// Implementations must be stateless (per-vertex state lives in
+/// `Self::Value`); the same program instance is shared by every worker
+/// thread.
+pub trait VertexProgram: Send + Sync + 'static {
+    /// Per-vertex state.
+    type Value: Clone + Default + Send + 'static;
+    /// Message type exchanged between vertices.
+    type Message: Clone + Send + 'static;
+
+    /// Called once per active vertex per superstep with the messages sent
+    /// to it in the previous superstep.
+    fn compute(&self, ctx: &mut Context<'_, '_, Self::Value, Self::Message>, messages: &[Self::Message]);
+
+    /// Optional Pregel *combiner*: merges two messages bound for the same
+    /// vertex at the sending worker, before they cross the network. Only
+    /// valid for commutative, associative reductions where the receiver
+    /// needs the combined value only (e.g. summing PageRank contributions).
+    ///
+    /// Return `None` (the default) to disable combining.
+    fn combine(&self, _a: &Self::Message, _b: &Self::Message) -> Option<Self::Message> {
+        None
+    }
+
+    /// Whether this program defines a combiner. The engine asks once per
+    /// superstep; the default probes [`VertexProgram::combine`] lazily, so
+    /// implementors only override `combine`.
+    fn has_combiner(&self) -> bool {
+        false
+    }
+}
+
+/// Aggregated values shared across workers with a one-superstep delay
+/// (Pregel's aggregator mechanism). Values written during superstep `t` are
+/// readable by every vertex during `t + 1`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Aggregates {
+    values: HashMap<&'static str, f64>,
+}
+
+impl Aggregates {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` into the named sum.
+    pub fn add(&mut self, name: &'static str, v: f64) {
+        *self.values.entry(name).or_insert(0.0) += v;
+    }
+
+    /// Reads a named sum (from the previous superstep when accessed through
+    /// [`Context::read_aggregate`]).
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Merges another partial aggregate into this one.
+    pub fn merge(&mut self, other: &Aggregates) {
+        for (k, v) in &other.values {
+            *self.values.entry(k).or_insert(0.0) += v;
+        }
+    }
+
+    /// Clears all sums.
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+/// Per-vertex view handed to [`VertexProgram::compute`].
+///
+/// The context routes messages through the engine's location table, which is
+/// how migrated vertices keep receiving their mail (paper §3): senders always
+/// consult the freshest location published at the last superstep boundary.
+pub struct Context<'a, 'b, V, M> {
+    pub(crate) vertex: VertexId,
+    pub(crate) superstep: usize,
+    pub(crate) home: WorkerId,
+    pub(crate) value: &'a mut V,
+    pub(crate) neighbors: &'a [VertexId],
+    pub(crate) halted: &'a mut bool,
+    pub(crate) outboxes: &'a mut Vec<Vec<(VertexId, M)>>,
+    pub(crate) locations: &'b [WorkerId],
+    pub(crate) counters: &'a mut WorkerCounters,
+    pub(crate) agg_prev: &'b Aggregates,
+    pub(crate) agg_next: &'a mut Aggregates,
+    pub(crate) num_vertices: usize,
+}
+
+impl<V, M> Context<'_, '_, V, M> {
+    /// Id of the vertex being computed.
+    pub fn id(&self) -> VertexId {
+        self.vertex
+    }
+
+    /// Current superstep (0-based).
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    /// Number of live vertices in the whole graph at this superstep.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// This vertex's neighbours (undirected adjacency), ascending.
+    pub fn neighbors(&self) -> &[VertexId] {
+        self.neighbors
+    }
+
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Immutable access to the vertex value.
+    pub fn value(&self) -> &V {
+        self.value
+    }
+
+    /// Mutable access to the vertex value.
+    pub fn value_mut(&mut self) -> &mut V {
+        self.value
+    }
+
+    /// Sends a message for delivery at the next superstep.
+    ///
+    /// Messages to removed vertices are dropped, matching Pregel semantics
+    /// for dangling edges after mutations.
+    pub fn send(&mut self, to: VertexId, msg: M) {
+        let dest = match self.locations.get(to as usize) {
+            Some(&w) if w != WorkerId::MAX => w,
+            _ => {
+                self.counters.messages_dropped += 1;
+                return;
+            }
+        };
+        if dest == self.home {
+            self.counters.messages_local += 1;
+        } else {
+            self.counters.messages_remote += 1;
+        }
+        self.outboxes[dest as usize].push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbour.
+    pub fn send_to_neighbors(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.neighbors.len() {
+            let w = self.neighbors[i];
+            self.send(w, msg.clone());
+        }
+    }
+
+    /// Halts this vertex; it stays dormant until a message re-activates it.
+    pub fn vote_to_halt(&mut self) {
+        *self.halted = true;
+    }
+
+    /// Adds `v` into a named global aggregate, readable next superstep.
+    pub fn aggregate(&mut self, name: &'static str, v: f64) {
+        self.agg_next.add(name, v);
+    }
+
+    /// Reads a named aggregate as of the end of the previous superstep.
+    pub fn read_aggregate(&self, name: &str) -> Option<f64> {
+        self.agg_prev.get(name)
+    }
+
+    /// Charges extra compute cost to the cost model (beyond the default one
+    /// unit per active vertex). The cardiac FEM kernel uses this to model
+    /// its "more than 32 differential equations on one hundred variables".
+    pub fn charge(&mut self, units: u64) {
+        self.counters.compute_units += units;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_and_merge() {
+        let mut a = Aggregates::new();
+        a.add("x", 1.5);
+        a.add("x", 2.5);
+        let mut b = Aggregates::new();
+        b.add("x", 1.0);
+        b.add("y", 7.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(5.0));
+        assert_eq!(a.get("y"), Some(7.0));
+        assert_eq!(a.get("z"), None);
+        a.clear();
+        assert_eq!(a.get("x"), None);
+    }
+
+    #[test]
+    fn context_routes_and_counts() {
+        let mut value = 0u32;
+        let mut halted = false;
+        let mut outboxes: Vec<Vec<(VertexId, u8)>> = vec![Vec::new(), Vec::new()];
+        let locations = vec![0 as WorkerId, 1, WorkerId::MAX];
+        let mut counters = WorkerCounters::default();
+        let agg_prev = Aggregates::new();
+        let mut agg_next = Aggregates::new();
+        {
+            let mut ctx = Context {
+                vertex: 0,
+                superstep: 3,
+                home: 0,
+                value: &mut value,
+                neighbors: &[1, 2],
+                halted: &mut halted,
+                outboxes: &mut outboxes,
+                locations: &locations,
+                counters: &mut counters,
+                agg_prev: &agg_prev,
+                agg_next: &mut agg_next,
+                num_vertices: 3,
+            };
+            ctx.send(0, 1); // local
+            ctx.send(1, 2); // remote
+            ctx.send(2, 3); // tombstone -> dropped
+            ctx.vote_to_halt();
+        }
+        assert_eq!(counters.messages_local, 1);
+        assert_eq!(counters.messages_remote, 1);
+        assert_eq!(counters.messages_dropped, 1);
+        assert_eq!(outboxes[0], vec![(0, 1)]);
+        assert_eq!(outboxes[1], vec![(1, 2)]);
+        assert!(halted);
+    }
+}

@@ -1,0 +1,51 @@
+//! Dynamic graph workload generators for the paper's three real-world use
+//! cases (§4.3).
+//!
+//! The paper feeds its system from live sources we cannot reach — the
+//! Twitter Streaming API and a European mobile operator's call-detail
+//! records. Each generator here synthesises a stream with the properties
+//! the paper reports about its source:
+//!
+//! * [`TwitterStream`] — a diurnal tweet-rate profile (the London-day curve
+//!   of Figure 8, double peak, overnight trough), mention edges following
+//!   preferential attachment over a growing user population.
+//! * [`CdrStream`] — community-structured call graph with the paper's
+//!   measured churn: ~8% weekly additions, ~4% weekly deletions, entities
+//!   removed after a week of inactivity.
+//! * [`forest_fire_burst`] — the instantaneous +10% forest-fire expansion
+//!   of the biomedical experiment (Figure 7b), re-exported from
+//!   `apg-graph` with the Figure-7 defaults.
+
+pub mod cdr;
+pub mod twitter;
+
+pub use apg_graph::gen::{forest_fire, ForestFireConfig};
+pub use cdr::{CdrConfig, CdrStream, WeekEvents};
+pub use twitter::{MentionBatch, TwitterConfig, TwitterStream};
+
+use apg_graph::DynGraph;
+use apg_graph::VertexId;
+
+/// Injects the paper's Figure 7b burst into `graph`: 10% new vertices with
+/// ~3 edges each (the paper's 10 M vertices / 30 M edges at 100 M scale).
+///
+/// Returns the new vertex ids.
+pub fn forest_fire_burst(graph: &mut DynGraph, seed: u64) -> Vec<VertexId> {
+    use apg_graph::Graph;
+    let burst = graph.num_live_vertices() / 10;
+    forest_fire(graph, &ForestFireConfig::burst(burst, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_graph::{gen, Graph};
+
+    #[test]
+    fn burst_adds_ten_percent_vertices() {
+        let mut g = DynGraph::from(&gen::mesh3d(10, 10, 10));
+        let new = forest_fire_burst(&mut g, 5);
+        assert_eq!(new.len(), 100);
+        assert_eq!(g.num_live_vertices(), 1100);
+    }
+}

@@ -1,0 +1,56 @@
+//! # apg — Adaptive Partitioning for large-scale dynamic Graphs
+//!
+//! Facade crate re-exporting the whole workspace: a Rust reproduction of
+//! Vaquero, Cuadrado, Martella & Logothetis, *Adaptive Partitioning for
+//! Large-Scale Dynamic Graphs* (ICDCS 2014).
+//!
+//! The paper's contribution is a decentralised, iterative,
+//! capacity-constrained greedy vertex-migration heuristic that keeps the
+//! partitioning of a continuously-changing graph close to optimal while
+//! relying on local, per-vertex information only. This workspace provides:
+//!
+//! * [`graph`] — graph substrate: CSR + dynamic graphs, generators, datasets.
+//! * [`partition`] — partition state, metrics and the four initial
+//!   strategies the paper compares (HSH, RND, DGR, MNN).
+//! * [`metis`] — a multilevel k-way partitioner standing in for METIS.
+//! * [`core`] — the adaptive iterative vertex-migration heuristic itself.
+//! * [`pregel`] — a Pregel-like BSP engine with the paper's partitioning
+//!   API extension (deferred migration, capacity messaging), plus the cost
+//!   model and fault injection used in the evaluation.
+//! * [`apps`] — vertex programs: PageRank, TunkRank, maximal cliques,
+//!   cardiac-FEM kernel.
+//! * [`streams`] — dynamic workloads: Twitter mention stream, CDR churn,
+//!   forest-fire bursts.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use apg::prelude::*;
+//!
+//! // The paper's 64kcube dataset, 9 partitions, defaults from the paper
+//! // (s = 0.5, capacity = 110% of balanced load).
+//! let graph = apg::graph::gen::mesh3d(20, 20, 20);
+//! let config = AdaptiveConfig::new(9);
+//! let mut partitioner =
+//!     AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &config, 42);
+//! let report = partitioner.run_to_convergence();
+//! assert!(report.final_cut_ratio() < report.initial_cut_ratio());
+//! ```
+
+pub use apg_apps as apps;
+pub use apg_core as core;
+pub use apg_graph as graph;
+pub use apg_metis as metis;
+pub use apg_partition as partition;
+pub use apg_pregel as pregel;
+pub use apg_streams as streams;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use apg_core::{AdaptiveConfig, AdaptivePartitioner, ConvergenceReport};
+    pub use apg_graph::{CsrGraph, DynGraph, Graph, VertexId};
+    pub use apg_partition::{
+        cut_edges, cut_ratio, InitialStrategy, PartitionId, Partitioning,
+    };
+    pub use apg_pregel::{Context, CostModel, Engine, EngineBuilder, MutationBatch, VertexProgram};
+}
