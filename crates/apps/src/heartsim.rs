@@ -91,7 +91,7 @@ impl VertexProgram for HeartSim {
         let v = state.voltage;
         // Diffusion from neighbours' potentials delivered as messages.
         let diffusion: f64 = messages.iter().map(|&vn| vn - v).sum::<f64>() * self.coupling;
-        let stimulus = if ctx.id() % self.pacemaker_every == 0
+        let stimulus = if ctx.id().is_multiple_of(self.pacemaker_every)
             && ctx.superstep() % self.stimulus_period < 8
         {
             3.0

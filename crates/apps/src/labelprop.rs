@@ -132,7 +132,9 @@ mod tests {
         let run = || {
             let mut e = EngineBuilder::new(2).build(&g, LabelPropagation::new(8));
             e.run_until_halt(12);
-            (0..10u32).map(|v| e.vertex_value(v).unwrap().0).collect::<Vec<_>>()
+            (0..10u32)
+                .map(|v| e.vertex_value(v).unwrap().0)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -24,9 +24,9 @@ pub mod sssp;
 pub mod tunkrank;
 
 pub use components::ConnectedComponents;
-pub use labelprop::{Community, LabelPropagation};
-pub use sssp::{Distance, Sssp};
 pub use heartsim::{CellState, HeartSim};
+pub use labelprop::{Community, LabelPropagation};
 pub use maxclique::MaxClique;
 pub use pagerank::PageRank;
+pub use sssp::{Distance, Sssp};
 pub use tunkrank::TunkRank;

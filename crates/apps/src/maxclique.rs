@@ -53,8 +53,10 @@ impl VertexProgram for MaxClique {
                     let me = ctx.id();
                     let my_neighbors = ctx.neighbors();
                     // Adjacency oracle over everything we received.
-                    let adjacency: std::collections::HashMap<VertexId, &[VertexId]> =
-                        messages.iter().map(|(j, list)| (*j, list.as_slice())).collect();
+                    let adjacency: std::collections::HashMap<VertexId, &[VertexId]> = messages
+                        .iter()
+                        .map(|(j, list)| (*j, list.as_slice()))
+                        .collect();
                     let connected = |a: VertexId, b: VertexId| -> bool {
                         adjacency
                             .get(&a)
@@ -120,10 +122,7 @@ mod tests {
 
     #[test]
     fn k4_detected() {
-        let g = CsrGraph::from_edges(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
         let e = run(&g);
         assert_eq!(global_max_clique(&e), 4);
         // The pendant vertex only sees a 2-clique.

@@ -133,8 +133,16 @@ mod tests {
         let with = {
             let mut e = EngineBuilder::new(2).build(&g, PageRank::new(20));
             let reports = e.run_until_halt(25);
-            let traffic: u64 = reports.iter().map(|r| r.messages_local + r.messages_remote).sum();
-            (traffic, (0..64).map(|v| *e.vertex_value(v).unwrap()).collect::<Vec<f64>>())
+            let traffic: u64 = reports
+                .iter()
+                .map(|r| r.messages_local + r.messages_remote)
+                .sum();
+            (
+                traffic,
+                (0..64)
+                    .map(|v| *e.vertex_value(v).unwrap())
+                    .collect::<Vec<f64>>(),
+            )
         };
         // Sanity: the combiner is declared.
         assert!(PageRank::new(20).has_combiner());

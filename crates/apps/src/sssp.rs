@@ -82,7 +82,11 @@ mod tests {
         e.run_until_halt(40);
         let reference = algo::bfs_distances(&g, 0);
         for v in g.vertices() {
-            assert_eq!(e.vertex_value(v).unwrap().0, reference[v as usize], "vertex {v}");
+            assert_eq!(
+                e.vertex_value(v).unwrap().0,
+                reference[v as usize],
+                "vertex {v}"
+            );
         }
     }
 

@@ -37,7 +37,10 @@ impl TunkRank {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn with_retweet_prob(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "retweet probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "retweet probability must be in [0, 1)"
+        );
         self.retweet_prob = p;
         self
     }
@@ -103,6 +106,9 @@ mod tests {
         // Fixed point of x = (1 + p x) for degree-2 cycle: each neighbour
         // contributes (1 + p x)/2, two neighbours -> x = 1 + p x.
         let expected = 1.0 / (1.0 - 0.05);
-        assert!((v0 - expected).abs() < 1e-6, "got {v0}, expected {expected}");
+        assert!(
+            (v0 - expected).abs() < 1e-6,
+            "got {v0}, expected {expected}"
+        );
     }
 }

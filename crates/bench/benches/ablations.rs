@@ -57,5 +57,10 @@ fn bench_willingness(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_quota_rule, bench_count_self, bench_willingness);
+criterion_group!(
+    benches,
+    bench_quota_rule,
+    bench_count_self,
+    bench_willingness
+);
 criterion_main!(benches);

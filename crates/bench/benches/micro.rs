@@ -14,11 +14,15 @@ fn bench_decision_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("decision_kernel");
     for degree in [6usize, 32, 256] {
         let neighbors: Vec<u16> = (0..degree).map(|i| (i % 9) as u16).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(degree), &neighbors, |b, nbrs| {
-            let mut kernel = DecisionKernel::new(9, false);
-            let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| kernel.decide(black_box(0), nbrs.iter().copied(), &mut rng));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(degree),
+            &neighbors,
+            |b, nbrs| {
+                let mut kernel = DecisionKernel::new(9, false);
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| kernel.decide(black_box(0), nbrs.iter().copied(), &mut rng));
+            },
+        );
     }
     group.finish();
 }
@@ -66,7 +70,9 @@ fn bench_graph_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_construction");
     group.sample_size(10);
     group.bench_function("mesh3d_27k", |b| b.iter(|| gen::mesh3d(30, 30, 30)));
-    group.bench_function("holme_kim_10k", |b| b.iter(|| gen::holme_kim(10_000, 5, 0.1, 7)));
+    group.bench_function("holme_kim_10k", |b| {
+        b.iter(|| gen::holme_kim(10_000, 5, 0.1, 7))
+    });
     group.finish();
 }
 

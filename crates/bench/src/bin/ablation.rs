@@ -19,13 +19,17 @@ fn main() {
     let plaw = gen::holme_kim(5000, 8, 0.1, args.seed);
 
     println!("Ablation 1: capacity quota rule (mesh 16^3, k=9, 120 iterations)");
-    println!("{:>18} {:>10} {:>12} {:>12}", "rule", "cut", "imbalance", "max part");
+    println!(
+        "{:>18} {:>10} {:>12} {:>12}",
+        "rule", "cut", "imbalance", "max part"
+    );
     for (name, rule) in [
         ("C/(k-1) split", QuotaRule::PerSourceSplit),
         ("unbounded", QuotaRule::Unbounded),
     ] {
         let cfg = AdaptiveConfig::new(9).quota_rule(rule);
-        let mut p = AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
+        let mut p =
+            AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
         p.run_for(120);
         println!(
             "{:>18} {:>10.4} {:>12.3} {:>12}",
@@ -39,8 +43,11 @@ fn main() {
     println!("\nAblation 2: candidate set includes self (mesh 16^3, k=9, to convergence)");
     println!("{:>18} {:>10} {:>14}", "variant", "cut", "conv (iters)");
     for (name, count_self) in [("neighbours only", false), ("self included", true)] {
-        let cfg = AdaptiveConfig::new(9).count_self(count_self).max_iterations(600);
-        let mut p = AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
+        let cfg = AdaptiveConfig::new(9)
+            .count_self(count_self)
+            .max_iterations(600);
+        let mut p =
+            AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
         let report = p.run_to_convergence();
         println!(
             "{:>18} {:>10.4} {:>14}",
@@ -54,7 +61,8 @@ fn main() {
     println!("{:>18} {:>10} {:>14}", "s", "cut", "conv (iters)");
     for s in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
         let cfg = AdaptiveConfig::new(9).willingness(s).max_iterations(400);
-        let mut p = AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
+        let mut p =
+            AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
         let report = p.run_to_convergence();
         println!(
             "{:>18.1} {:>10.4} {:>14}",
@@ -75,7 +83,8 @@ fn main() {
     );
     for (name, edges) in [("vertices (paper)", false), ("edges (paper s6)", true)] {
         let cfg = AdaptiveConfig::new(9).balance_on_edges(edges);
-        let mut p = AdaptivePartitioner::with_strategy(&plaw, InitialStrategy::Hash, &cfg, args.seed);
+        let mut p =
+            AdaptivePartitioner::with_strategy(&plaw, InitialStrategy::Hash, &cfg, args.seed);
         p.run_for(150);
         println!(
             "{:>18} {:>10.4} {:>12.3} {:>12.3}",
@@ -90,12 +99,19 @@ fn main() {
     println!("{:>24} {:>10} {:>14}", "schedule", "cut", "conv (iters)");
     let schedules: [(&str, AdaptiveConfig); 3] = [
         ("constant 0.5", AdaptiveConfig::new(9)),
-        ("anneal 0.9 -> 0.3/60", AdaptiveConfig::new(9).anneal_willingness(0.9, 0.3, 60)),
-        ("anneal 0.9 -> 0.1/40", AdaptiveConfig::new(9).anneal_willingness(0.9, 0.1, 40)),
+        (
+            "anneal 0.9 -> 0.3/60",
+            AdaptiveConfig::new(9).anneal_willingness(0.9, 0.3, 60),
+        ),
+        (
+            "anneal 0.9 -> 0.1/40",
+            AdaptiveConfig::new(9).anneal_willingness(0.9, 0.1, 40),
+        ),
     ];
     for (name, cfg) in schedules {
         let cfg = cfg.max_iterations(600);
-        let mut p = AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
+        let mut p =
+            AdaptivePartitioner::with_strategy(&mesh, InitialStrategy::Hash, &cfg, args.seed);
         let report = p.run_to_convergence();
         println!(
             "{:>24} {:>10.4} {:>14}",
@@ -109,7 +125,8 @@ fn main() {
     println!("{:>18} {:>10} {:>14}", "variant", "cut", "hot-part mass");
     for (name, scale) in [("uniform caps", 1.0f64), ("hot spot +30%", 1.3)] {
         let cfg = AdaptiveConfig::new(9);
-        let mut p = AdaptivePartitioner::with_strategy(&plaw, InitialStrategy::Hash, &cfg, args.seed);
+        let mut p =
+            AdaptivePartitioner::with_strategy(&plaw, InitialStrategy::Hash, &cfg, args.seed);
         p.run_for(40);
         if scale > 1.0 {
             // Grant the partition with the highest degree mass extra room,

@@ -13,7 +13,10 @@ fn main() {
 
     banner("Figure 1");
     for (name, graph) in headline_graphs(args.scale, args.seed) {
-        fig1::print(name, &fig1::sweep(&graph, &fig1::S_VALUES, args.reps(), args.seed));
+        fig1::print(
+            name,
+            &fig1::sweep(&graph, &fig1::S_VALUES, args.reps(), args.seed),
+        );
     }
 
     banner("Figure 4");

@@ -50,7 +50,10 @@ pub fn sweep(graph: &CsrGraph, s_values: &[f64], reps: usize, seed: u64) -> Vec<
 /// Prints one graph's series in the paper's two-axis layout.
 pub fn print(name: &str, points: &[SPoint]) {
     println!("Figure 1 ({name}): willingness to move vs convergence time / cut ratio");
-    println!("{:>5} {:>22} {:>22}", "s", "convergence (iters)", "cut ratio");
+    println!(
+        "{:>5} {:>22} {:>22}",
+        "s", "convergence (iters)", "cut ratio"
+    );
     for p in points {
         println!(
             "{:>5.1} {:>14.1} ± {:<5.1} {:>14.4} ± {:<6.4}",

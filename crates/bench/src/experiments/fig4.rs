@@ -27,8 +27,7 @@ pub fn run(graph: &CsrGraph, reps: usize, seed: u64) -> Vec<Fig4Row> {
             for rep in 0..reps {
                 let rep_seed = seed.wrapping_add(rep as u64 * 104_729);
                 let cfg = AdaptiveConfig::new(9).max_iterations(800);
-                let mut p =
-                    AdaptivePartitioner::with_strategy(graph, strategy, &cfg, rep_seed);
+                let mut p = AdaptivePartitioner::with_strategy(graph, strategy, &cfg, rep_seed);
                 initial.push(p.cut_ratio());
                 let report = p.run_to_convergence();
                 iterative.push(report.final_cut_ratio());
@@ -51,7 +50,10 @@ pub fn metis_baseline(graph: &CsrGraph, seed: u64) -> f64 {
 /// Prints one graph's bars plus the METIS line.
 pub fn print(name: &str, rows: &[Fig4Row], metis: f64) {
     println!("Figure 4 ({name}): cut ratio by initial strategy (9 partitions, cap 110%)");
-    println!("{:>6} {:>20} {:>20}", "init", "initial cut", "iterative cut");
+    println!(
+        "{:>6} {:>20} {:>20}",
+        "init", "initial cut", "iterative cut"
+    );
     for r in rows {
         println!(
             "{:>6} {:>12.4} ± {:<5.4} {:>12.4} ± {:<5.4}",

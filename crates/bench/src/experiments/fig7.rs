@@ -7,10 +7,10 @@
 //! baseline exactly as the paper normalises its Figure 7. The burst
 //! reproduces the paper's ratios: +10% vertices, ~3 edges per new vertex.
 
+use apg_apps::HeartSim;
 use apg_core::AdaptiveConfig;
 use apg_graph::{gen, DynGraph, Graph, VertexId};
 use apg_pregel::{CostModel, Engine, EngineBuilder, MutationBatch};
-use apg_apps::HeartSim;
 
 use crate::Scale;
 
@@ -167,11 +167,22 @@ pub fn print(result: &Fig7Result, stride: usize) {
         result.vertices_before, result.edges_before
     );
     for (phase, series, baseline) in [
-        ("(a) hash re-arrangement", &result.phase_a, result.baseline_a),
-        ("(b) forest-fire absorption", &result.phase_b, result.baseline_b),
+        (
+            "(a) hash re-arrangement",
+            &result.phase_a,
+            result.baseline_a,
+        ),
+        (
+            "(b) forest-fire absorption",
+            &result.phase_b,
+            result.baseline_b,
+        ),
     ] {
         println!("--- {phase} (baseline sim-time {baseline:.0}) ---");
-        println!("{:>9} {:>12} {:>12} {:>10}", "superstep", "cuts", "migrations", "time/hash");
+        println!(
+            "{:>9} {:>12} {:>12} {:>10}",
+            "superstep", "cuts", "migrations", "time/hash"
+        );
         for p in series.iter().step_by(stride.max(1)) {
             println!(
                 "{:>9} {:>12} {:>12} {:>10.2}",

@@ -7,10 +7,10 @@
 //! paper's flat superstep-time traces over four days of continuous
 //! operation imply bounded state, not an ever-growing multigraph.
 
+use apg_apps::TunkRank;
 use apg_core::AdaptiveConfig;
 use apg_graph::DynGraph;
 use apg_pregel::{CostModel, Engine, EngineBuilder, FaultPlan, MutationBatch};
-use apg_apps::TunkRank;
 use apg_streams::{TwitterConfig, TwitterStream};
 
 use crate::Scale;
@@ -79,8 +79,11 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig8Point> {
         .build(&initial, program);
 
     let mut points = Vec::with_capacity(num_windows);
-    let ttl_windows = (EDGE_TTL_HOURS / (24.0 / num_windows as f64)).round().max(1.0) as usize;
-    let mut last_seen: std::collections::HashMap<(u32, u32), usize> = std::collections::HashMap::new();
+    let ttl_windows = (EDGE_TTL_HOURS / (24.0 / num_windows as f64))
+        .round()
+        .max(1.0) as usize;
+    let mut last_seen: std::collections::HashMap<(u32, u32), usize> =
+        std::collections::HashMap::new();
     for w in 0..num_windows {
         let hour = w as f64 * 24.0 / num_windows as f64;
         // Ingestion stalls while the failed worker recovers.
@@ -88,7 +91,11 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig8Point> {
             let s = adaptive.superstep_index();
             s >= crash_superstep && s < crash_superstep + 5
         };
-        let effective_secs = if in_recovery { window_secs * 0.15 } else { window_secs };
+        let effective_secs = if in_recovery {
+            window_secs * 0.15
+        } else {
+            window_secs
+        };
         let batch = stream.window(hour, effective_secs);
 
         let mut mutation = batch_to_mutations(&batch, adaptive.num_total_slots());
@@ -140,8 +147,14 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig8Point> {
             );
             let wt = &ra.last().unwrap().worker_times;
             let wh = &rh.last().unwrap().worker_times;
-            eprintln!("  worker_times adaptive: {:?}", wt.iter().map(|t| (t/1000.0).round()).collect::<Vec<_>>());
-            eprintln!("  worker_times hash:     {:?}", wh.iter().map(|t| (t/1000.0).round()).collect::<Vec<_>>());
+            eprintln!(
+                "  worker_times adaptive: {:?}",
+                wt.iter().map(|t| (t / 1000.0).round()).collect::<Vec<_>>()
+            );
+            eprintln!(
+                "  worker_times hash:     {:?}",
+                wh.iter().map(|t| (t / 1000.0).round()).collect::<Vec<_>>()
+            );
         }
     }
     points
@@ -150,7 +163,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig8Point> {
 /// Converts a mention batch into engine mutations; user indices beyond the
 /// engine's current slots become new vertices (ids align because both sides
 /// allocate sequentially).
-pub fn batch_to_mutations(batch: &apg_streams::MentionBatch, current_slots: usize) -> MutationBatch {
+pub fn batch_to_mutations(
+    batch: &apg_streams::MentionBatch,
+    current_slots: usize,
+) -> MutationBatch {
     let mut m = MutationBatch::new();
     let new_users = batch.num_users.saturating_sub(current_slots);
     for _ in 0..new_users {

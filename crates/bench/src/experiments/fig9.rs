@@ -5,10 +5,10 @@
 //! between rounds (the paper's batching), and the 15x replay speed-up shows
 //! up as sizeable per-round batches.
 
+use apg_apps::MaxClique;
 use apg_core::{mean_and_sem, AdaptiveConfig, Summary};
 use apg_graph::DynGraph;
 use apg_pregel::{CostModel, Engine, EngineBuilder, MutationBatch};
-use apg_apps::MaxClique;
 use apg_streams::{CdrConfig, CdrStream};
 
 use crate::Scale;

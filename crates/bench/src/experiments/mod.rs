@@ -19,20 +19,34 @@ pub fn headline_graphs(scale: Scale, seed: u64) -> Vec<(&'static str, CsrGraph)>
     match scale {
         Scale::Paper => vec![
             ("64kcube", apg_graph::gen::mesh3d(40, 40, 40)),
-            ("epinions", apg_graph::gen::preferential_attachment(75_879, 7, seed)),
+            (
+                "epinions",
+                apg_graph::gen::preferential_attachment(75_879, 7, seed),
+            ),
         ],
         Scale::Quick => vec![
             ("64kcube@quick", apg_graph::gen::mesh3d(16, 16, 16)),
-            ("epinions@quick", apg_graph::gen::preferential_attachment(8_000, 7, seed)),
+            (
+                "epinions@quick",
+                apg_graph::gen::preferential_attachment(8_000, 7, seed),
+            ),
         ],
         Scale::Tiny => vec![
             ("64kcube@tiny", apg_graph::gen::mesh3d(8, 8, 8)),
-            ("epinions@tiny", apg_graph::gen::preferential_attachment(1_500, 7, seed)),
+            (
+                "epinions@tiny",
+                apg_graph::gen::preferential_attachment(1_500, 7, seed),
+            ),
         ],
     }
 }
 
 /// Formats a float with a fixed number of decimals, right-aligned.
 pub fn fmt(v: f64, decimals: usize, width: usize) -> String {
-    format!("{:>width$.decimals$}", v, width = width, decimals = decimals)
+    format!(
+        "{:>width$.decimals$}",
+        v,
+        width = width,
+        decimals = decimals
+    )
 }

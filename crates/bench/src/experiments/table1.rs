@@ -64,8 +64,8 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Table1Row> {
 pub fn print(rows: &[Table1Row]) {
     println!("Table 1: datasets (paper listing vs built graph)");
     println!(
-        "{:<14} {:>12} {:>12} {:>6} | {:>12} {:>12} {:>8}  {}",
-        "name", "paper |V|", "paper |E|", "type", "built |V|", "built |E|", "deg", "substitution"
+        "{:<14} {:>12} {:>12} {:>6} | {:>12} {:>12} {:>8}  substitution",
+        "name", "paper |V|", "paper |E|", "type", "built |V|", "built |E|", "deg"
     );
     for r in rows {
         println!(

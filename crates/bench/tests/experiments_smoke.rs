@@ -82,7 +82,10 @@ fn fig7_phases_have_the_papers_shape() {
     // Time spikes early (migration burst) then lands below the hash baseline.
     let peak = a.iter().map(|p| p.time_norm).fold(0.0f64, f64::max);
     assert!(peak > 1.5, "no migration spike: peak x{peak}");
-    assert!(a.last().unwrap().time_norm < 1.0, "no speedup at convergence");
+    assert!(
+        a.last().unwrap().time_norm < 1.0,
+        "no speedup at convergence"
+    );
     // Phase b: the burst is absorbed back to similar cut levels.
     let b = &result.phase_b;
     assert!(b.last().unwrap().cut_edges as f64 <= b.first().unwrap().cut_edges as f64);

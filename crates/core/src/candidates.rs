@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn isolated_vertex_stays() {
         let mut k = DecisionKernel::new(3, false);
-        assert_eq!(k.decide(2, std::iter::empty(), &mut rng()), MigrationDecision::Stay);
+        assert_eq!(
+            k.decide(2, std::iter::empty(), &mut rng()),
+            MigrationDecision::Stay
+        );
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
         );
         // ...with self-count it is a tie and we stay.
         let mut with = DecisionKernel::new(2, true);
-        assert_eq!(with.decide(0, [1].into_iter(), &mut rng()), MigrationDecision::Stay);
+        assert_eq!(
+            with.decide(0, [1].into_iter(), &mut rng()),
+            MigrationDecision::Stay
+        );
     }
 
     #[test]

@@ -111,7 +111,13 @@ impl AdaptivePartitioner {
             config.capacity_factor,
         );
         let partitioning = strategy.assign(graph, &caps, seed);
-        Self::from_parts(to_dyn(graph), partitioning, config.clone(), CapacityMode::Auto, seed)
+        Self::from_parts(
+            to_dyn(graph),
+            partitioning,
+            config.clone(),
+            CapacityMode::Auto,
+            seed,
+        )
     }
 
     /// Creates a partitioner from an existing assignment (e.g. produced by
@@ -137,7 +143,13 @@ impl AdaptivePartitioner {
             config.num_partitions,
             "partition count mismatch"
         );
-        Self::from_parts(to_dyn(graph), partitioning, config.clone(), CapacityMode::Auto, seed)
+        Self::from_parts(
+            to_dyn(graph),
+            partitioning,
+            config.clone(),
+            CapacityMode::Auto,
+            seed,
+        )
     }
 
     /// Replaces automatic capacity tracking with fixed explicit limits.
@@ -285,7 +297,11 @@ impl AdaptivePartitioner {
             if let MigrationDecision::Migrate(to) =
                 self.kernel.decide(current, neighbor_parts, &mut self.rng)
             {
-                let units = if balance_edges { self.graph.degree(v) } else { 1 };
+                let units = if balance_edges {
+                    self.graph.degree(v)
+                } else {
+                    1
+                };
                 if quota.try_consume_units(current, to, units) {
                     self.pending.push((v, to));
                 }
@@ -467,7 +483,11 @@ impl AdaptivePartitioner {
             sizes[self.partitioning.partition_of(v) as usize] += 1;
             mass[self.partitioning.partition_of(v) as usize] += self.graph.degree(v);
         }
-        assert_eq!(sizes.as_slice(), self.partitioning.sizes(), "size accounting drifted");
+        assert_eq!(
+            sizes.as_slice(),
+            self.partitioning.sizes(),
+            "size accounting drifted"
+        );
         assert_eq!(mass, self.degree_mass, "degree-mass accounting drifted");
     }
 }

@@ -103,7 +103,12 @@ mod tests {
 
     #[test]
     fn convergence_time_excludes_quiet_tail() {
-        let history = vec![stat(0, 5, 80), stat(1, 2, 60), stat(2, 0, 60), stat(3, 0, 60)];
+        let history = vec![
+            stat(0, 5, 80),
+            stat(1, 2, 60),
+            stat(2, 0, 60),
+            stat(3, 0, 60),
+        ];
         let r = ConvergenceReport::new(history, 100, 200, 2);
         assert!(r.converged());
         assert_eq!(r.convergence_time(), 2);

@@ -28,11 +28,19 @@ impl std::fmt::Display for Summary {
 pub fn mean_and_sem(values: &[f64]) -> Summary {
     let n = values.len();
     if n == 0 {
-        return Summary { mean: 0.0, sem: 0.0, n: 0 };
+        return Summary {
+            mean: 0.0,
+            sem: 0.0,
+            n: 0,
+        };
     }
     let mean = values.iter().sum::<f64>() / n as f64;
     if n == 1 {
-        return Summary { mean, sem: 0.0, n: 1 };
+        return Summary {
+            mean,
+            sem: 0.0,
+            n: 1,
+        };
     }
     let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
     Summary {

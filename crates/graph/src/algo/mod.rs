@@ -7,6 +7,8 @@ mod traversal;
 mod triangles;
 
 pub use components::{component_of, connected_components, Components};
-pub use stats::{degree_histogram, degree_stats, global_clustering, powerlaw_exponent, DegreeStats};
+pub use stats::{
+    degree_histogram, degree_stats, global_clustering, powerlaw_exponent, DegreeStats,
+};
 pub use traversal::{bfs_distances, estimate_mean_geodesic};
 pub use triangles::{core_numbers, triangle_counts, TriangleCounts};

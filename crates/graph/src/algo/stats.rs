@@ -33,11 +33,21 @@ pub fn degree_stats<G: Graph>(graph: &G) -> DegreeStats {
         count += 1;
     }
     if count == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+        };
     }
     let mean = sum / count as f64;
     let var = (sum_sq / count as f64 - mean * mean).max(0.0);
-    DegreeStats { min, max, mean, std_dev: var.sqrt() }
+    DegreeStats {
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
 }
 
 /// Global clustering coefficient (transitivity): `3 * triangles / open triads`.
@@ -87,7 +97,15 @@ mod tests {
     fn degree_stats_empty() {
         let g = CsrGraph::from_edges(0, &[]);
         let s = degree_stats(&g);
-        assert_eq!(s, DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 });
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0
+            }
+        );
     }
 
     #[test]

@@ -149,7 +149,16 @@ mod tests {
         // K4 with a pendant path: core 3 inside the clique, 1 on the tail.
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         );
         let core = core_numbers(&g);
         assert_eq!(&core[0..4], &[3, 3, 3, 3]);

@@ -264,10 +264,9 @@ mod tests {
         for name in ["3elt", "4elt", "plc1000", "wikivote"] {
             let d = by_name(name).unwrap();
             let g = d.build(1);
-            let dv = (g.num_vertices() as f64 - d.paper_vertices as f64).abs()
-                / d.paper_vertices as f64;
-            let de =
-                (g.num_edges() as f64 - d.paper_edges as f64).abs() / d.paper_edges as f64;
+            let dv =
+                (g.num_vertices() as f64 - d.paper_vertices as f64).abs() / d.paper_vertices as f64;
+            let de = (g.num_edges() as f64 - d.paper_edges as f64).abs() / d.paper_edges as f64;
             assert!(dv < 0.01, "{name}: |V| off by {dv}");
             assert!(de < 0.06, "{name}: |E| off by {de}");
         }
@@ -277,7 +276,11 @@ mod tests {
     fn substituted_datasets_are_documented() {
         for d in TABLE1 {
             if d.paper_source != "synth" || d.default_scale_down > 1 {
-                assert!(d.substitution.is_some(), "{} needs a substitution note", d.name);
+                assert!(
+                    d.substitution.is_some(),
+                    "{} needs a substitution note",
+                    d.name
+                );
             }
         }
     }

@@ -139,7 +139,10 @@ impl DynGraph {
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
             let u = u as VertexId;
-            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 }
@@ -147,7 +150,9 @@ impl DynGraph {
 impl From<&CsrGraph> for DynGraph {
     fn from(g: &CsrGraph) -> Self {
         let n = g.num_vertices();
-        let adj: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| g.neighbors(v).to_vec()).collect();
+        let adj: Vec<Vec<VertexId>> = (0..n as VertexId)
+            .map(|v| g.neighbors(v).to_vec())
+            .collect();
         DynGraph {
             adj,
             alive: vec![true; n],

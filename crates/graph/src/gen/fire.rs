@@ -165,7 +165,11 @@ mod tests {
                 seed,
             };
             let new = forest_fire(&mut g, &cfg);
-            assert!(g.degree(new[0]) <= 5, "seed {seed}: degree {}", g.degree(new[0]));
+            assert!(
+                g.degree(new[0]) <= 5,
+                "seed {seed}: degree {}",
+                g.degree(new[0])
+            );
         }
     }
 

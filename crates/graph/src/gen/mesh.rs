@@ -104,11 +104,11 @@ pub fn rect_mesh_dims(n: usize) -> (usize, usize, usize) {
     let mut best_key = (1usize, n as i64);
     let mut a = 1usize;
     while a * a * a <= n {
-        if n % a == 0 {
+        if n.is_multiple_of(a) {
             let m = n / a;
             let mut b = a;
             while b * b <= m {
-                if m % b == 0 {
+                if m.is_multiple_of(b) {
                     let c = m / b;
                     let key = (a.min(b).min(c), -(c as i64));
                     if key > best_key {
@@ -186,7 +186,10 @@ mod tests {
         for n in [1000usize, 3000, 9900, 29700, 99000, 300000] {
             let (a, b, c) = rect_mesh_dims(n);
             assert_eq!(a * b * c, n);
-            assert!(a.min(b).min(c) >= 10, "degenerate dims for {n}: {a}x{b}x{c}");
+            assert!(
+                a.min(b).min(c) >= 10,
+                "degenerate dims for {n}: {a}x{b}x{c}"
+            );
         }
     }
 

@@ -26,12 +26,13 @@ pub fn holme_kim(n: usize, m: usize, p: f64, seed: u64) -> CsrGraph {
     // it is preferential attachment in O(1).
     let mut repeats: Vec<VertexId> = Vec::with_capacity(2 * m * n);
     let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-    let add_edge = |adj: &mut Vec<Vec<VertexId>>, repeats: &mut Vec<VertexId>, u: VertexId, v: VertexId| {
-        adj[u as usize].push(v);
-        adj[v as usize].push(u);
-        repeats.push(u);
-        repeats.push(v);
-    };
+    let add_edge =
+        |adj: &mut Vec<Vec<VertexId>>, repeats: &mut Vec<VertexId>, u: VertexId, v: VertexId| {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+            repeats.push(u);
+            repeats.push(v);
+        };
 
     // Seed clique over the first m vertices keeps early attachments sane.
     for u in 0..m as VertexId {
@@ -142,7 +143,12 @@ mod tests {
         let g = preferential_attachment(3000, 4, 11);
         let stats = algo::degree_stats(&g);
         // Heavy tail: max degree far above mean.
-        assert!(stats.max as f64 > 8.0 * stats.mean, "max {} mean {}", stats.max, stats.mean);
+        assert!(
+            stats.max as f64 > 8.0 * stats.mean,
+            "max {} mean {}",
+            stats.max,
+            stats.mean
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> CsrGraph {
         let (mut u, mut v) = (0usize, 0usize);
         loop {
             let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let skip = if p >= 1.0 { 1 } else { 1 + (r.ln() / log1p).floor() as usize };
+            let skip = if p >= 1.0 {
+                1
+            } else {
+                1 + (r.ln() / log1p).floor() as usize
+            };
             v += skip;
             while v >= n {
                 u += 1;

@@ -19,7 +19,7 @@ use crate::types::{ordered, EdgeList, VertexId};
 ///
 /// Panics if `k` is odd, zero, or `>= n`, or `p` is not a probability.
 pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> CsrGraph {
-    assert!(k > 0 && k % 2 == 0, "k must be positive and even");
+    assert!(k > 0 && k.is_multiple_of(2), "k must be positive and even");
     assert!(k < n, "ring degree must be below n");
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(watts_strogatz(100, 4, 0.3, 9), watts_strogatz(100, 4, 0.3, 9));
+        assert_eq!(
+            watts_strogatz(100, 4, 0.3, 9),
+            watts_strogatz(100, 4, 0.3, 9)
+        );
     }
 
     #[test]

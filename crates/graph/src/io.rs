@@ -70,7 +70,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, ParseEdgeListError
         match (parse(parts.next()), parse(parts.next()), parts.next()) {
             (Some(u), Some(v), None) => edges.push((u, v)),
             _ => {
-                return Err(ParseEdgeListError::Malformed { line: idx + 1, text: line })
+                return Err(ParseEdgeListError::Malformed {
+                    line: idx + 1,
+                    text: line,
+                })
             }
         }
     }

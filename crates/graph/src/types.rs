@@ -55,7 +55,10 @@ pub trait Graph {
     where
         Self: Sized,
     {
-        LiveVertices { graph: self, next: 0 }
+        LiveVertices {
+            graph: self,
+            next: 0,
+        }
     }
 }
 

@@ -22,7 +22,7 @@ pub fn greedy_bisect(graph: &WGraph, frac: f64, tries: usize, rng: &mut StdRng) 
     for _ in 0..tries.max(1) {
         let side = grow_once(graph, target, rng);
         let cut = graph.cut_weight(&side);
-        if best.as_ref().map_or(true, |(c, _)| cut < *c) {
+        if best.as_ref().is_none_or(|(c, _)| cut < *c) {
             best = Some((cut, side));
         }
     }

@@ -34,7 +34,7 @@ pub fn coarsen_once(graph: &WGraph, rng: &mut StdRng) -> CoarseLevel {
         for (idx, &w) in graph.neighbors(v).iter().enumerate() {
             if mate[w as usize] == u32::MAX && (w as usize) != v {
                 let wt = graph.weights(v)[idx];
-                if best.map_or(true, |(bw, _)| wt > bw) {
+                if best.is_none_or(|(bw, _)| wt > bw) {
                     best = Some((wt, w));
                 }
             }

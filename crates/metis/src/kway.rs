@@ -23,7 +23,12 @@ const FM_PASSES: usize = 6;
 /// Weight is split proportionally at every bisection (`ceil(k/2) : floor(k/2)`),
 /// so any `k` is supported. `imbalance` bounds each side's overweight at
 /// every split.
-pub fn recursive_bisection(graph: &WGraph, k: PartitionId, imbalance: f64, seed: u64) -> Vec<PartitionId> {
+pub fn recursive_bisection(
+    graph: &WGraph,
+    k: PartitionId,
+    imbalance: f64,
+    seed: u64,
+) -> Vec<PartitionId> {
     let mut assignment = vec![0 as PartitionId; graph.len()];
     if graph.is_empty() || k <= 1 {
         return assignment;
@@ -61,8 +66,24 @@ fn split(
     let (right, right_map) = graph.subgraph(&side, false);
     let left_globals: Vec<u32> = left_map.iter().map(|&v| global_ids[v as usize]).collect();
     let right_globals: Vec<u32> = right_map.iter().map(|&v| global_ids[v as usize]).collect();
-    split(&left, &left_globals, first, k_left, imbalance, rng, assignment);
-    split(&right, &right_globals, first + k_left, k - k_left, imbalance, rng, assignment);
+    split(
+        &left,
+        &left_globals,
+        first,
+        k_left,
+        imbalance,
+        rng,
+        assignment,
+    );
+    split(
+        &right,
+        &right_globals,
+        first + k_left,
+        k - k_left,
+        imbalance,
+        rng,
+        assignment,
+    );
 }
 
 /// One multilevel bisection: coarsen, bisect the coarsest graph, project
@@ -76,7 +97,11 @@ pub fn multilevel_bisect(graph: &WGraph, frac: f64, imbalance: f64, rng: &mut St
 
     // Project through the levels, refining at each.
     for level_idx in (0..levels.len()).rev() {
-        let fine_graph = if level_idx == 0 { graph } else { &levels[level_idx - 1].graph };
+        let fine_graph = if level_idx == 0 {
+            graph
+        } else {
+            &levels[level_idx - 1].graph
+        };
         let map = &levels[level_idx].fine_to_coarse;
         let mut fine_side = vec![false; fine_graph.len()];
         for v in 0..fine_graph.len() {

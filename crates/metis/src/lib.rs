@@ -79,7 +79,10 @@ mod tests {
         let g = gen::mesh3d(10, 10, 10);
         let p = partition(&g, 9, 1.10, 1);
         let imb = vertex_imbalance(&p);
-        assert!(imb <= 1.14, "imbalance {imb} exceeds bound (+rounding slack)");
+        assert!(
+            imb <= 1.14,
+            "imbalance {imb} exceeds bound (+rounding slack)"
+        );
     }
 
     #[test]

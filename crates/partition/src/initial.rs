@@ -196,7 +196,10 @@ mod tests {
     fn streaming_strategies_respect_capacity() {
         let g = gen::holme_kim(1000, 5, 0.1, 2);
         let c = caps(1000, 9);
-        for s in [InitialStrategy::DeterministicGreedy, InitialStrategy::MinNeighbors] {
+        for s in [
+            InitialStrategy::DeterministicGreedy,
+            InitialStrategy::MinNeighbors,
+        ] {
             let p = s.assign(&g, &c, 5);
             for part in 0..9 {
                 assert!(

@@ -103,7 +103,10 @@ impl Partitioning {
     ///
     /// Panics if `v` or `to` is out of range.
     pub fn move_vertex(&mut self, v: VertexId, to: PartitionId) -> PartitionId {
-        assert!((to as usize) < self.sizes.len(), "partition {to} out of range");
+        assert!(
+            (to as usize) < self.sizes.len(),
+            "partition {to} out of range"
+        );
         let from = self.assignment[v as usize];
         if from != to {
             self.sizes[from as usize] -= 1;
@@ -132,7 +135,10 @@ impl Partitioning {
     /// Grows the assignment to cover `n` vertices, placing new slots in the
     /// given partition. Used when dynamic graphs add vertices.
     pub fn grow_to(&mut self, n: usize, p: PartitionId) {
-        assert!((p as usize) < self.sizes.len(), "partition {p} out of range");
+        assert!(
+            (p as usize) < self.sizes.len(),
+            "partition {p} out of range"
+        );
         if n > self.assignment.len() {
             self.sizes[p as usize] += n - self.assignment.len();
             self.assignment.resize(n, p);

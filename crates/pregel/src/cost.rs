@@ -55,11 +55,11 @@ impl CostModel {
 
     /// Calibrated to the paper's biomedical deployment (Figure 7): with
     /// hash partitioning, messaging is >80% of superstep time and compute
-    /// >17% (the 32-ODE kernel is charged separately via `Context::charge`),
-    /// and each migration ships ~30 KB of vertex state (the paper's 3 TB /
-    /// 100 M vertices), i.e. hundreds of message-equivalents — which is
-    /// what produces the paper's large time-per-iteration spike while the
-    /// partitioning re-arranges.
+    /// above 17% (the 32-ODE kernel is charged separately via
+    /// `Context::charge`), and each migration ships ~30 KB of vertex state
+    /// (the paper's 3 TB / 100 M vertices), i.e. hundreds of
+    /// message-equivalents — which is what produces the paper's large
+    /// time-per-iteration spike while the partitioning re-arranges.
     pub fn heartsim() -> Self {
         CostModel {
             compute: 1.0,
@@ -139,9 +139,11 @@ mod tests {
     #[test]
     fn remote_messages_dominate() {
         let m = CostModel::lan_10gbe();
-        let mut c = WorkerCounters::default();
-        c.compute_units = 10;
-        c.messages_local = 100;
+        let mut c = WorkerCounters {
+            compute_units: 10,
+            messages_local: 100,
+            ..Default::default()
+        };
         let local_time = m.worker_time(&c, 0);
         c.messages_local = 0;
         c.messages_remote = 100;

@@ -5,7 +5,9 @@ use std::collections::HashSet;
 
 use apg_core::AdaptiveConfig;
 use apg_graph::{Graph, VertexId};
-use apg_partition::{initial::hash_vertex, CapacityModel, InitialStrategy, PartitionId, Partitioning};
+use apg_partition::{
+    initial::hash_vertex, CapacityModel, InitialStrategy, PartitionId, Partitioning,
+};
 
 use crate::cost::{CostModel, SuperstepReport};
 use crate::fault::FaultPlan;
@@ -119,7 +121,11 @@ impl EngineBuilder {
         partitioning: &Partitioning,
     ) -> Engine<P> {
         assert_eq!(partitioning.num_partitions(), self.k, "k mismatch");
-        assert_eq!(partitioning.num_vertices(), graph.num_vertices(), "coverage mismatch");
+        assert_eq!(
+            partitioning.num_vertices(),
+            graph.num_vertices(),
+            "coverage mismatch"
+        );
         let k = self.k as usize;
         let mut workers: Vec<WorkerState<P::Value>> = (0..k).map(|_| WorkerState::new()).collect();
         let mut locations = vec![WorkerId::MAX; graph.num_vertices()];
@@ -209,7 +215,7 @@ impl<P: VertexProgram> Engine<P> {
         let k = self.workers.len();
 
         // Periodic recovery checkpoint (values only; topology is durable).
-        if self.checkpoint_every > 0 && t % self.checkpoint_every == 0 {
+        if self.checkpoint_every > 0 && t.is_multiple_of(self.checkpoint_every) {
             self.take_checkpoint();
         }
 
@@ -336,10 +342,11 @@ impl<P: VertexProgram> Engine<P> {
             .map(|(w, c)| self.cost_model.worker_time(c, mig_traffic[w]))
             .collect();
         let worker_max = worker_times.iter().copied().fold(0.0f64, f64::max);
-        let sim_time = self.cost_model.superstep_overhead + worker_max + self.fault_plan.penalty_at(t);
+        let sim_time =
+            self.cost_model.superstep_overhead + worker_max + self.fault_plan.penalty_at(t);
         self.total_sim_time += sim_time;
 
-        let cut_edges = if self.cut_every > 0 && t % self.cut_every == 0 {
+        let cut_edges = if self.cut_every > 0 && t.is_multiple_of(self.cut_every) {
             Some(self.cut_edges())
         } else {
             None
@@ -543,7 +550,10 @@ impl<P: VertexProgram> Engine<P> {
         let mut endpoint_count = 0usize;
         for (w, worker) in self.workers.iter().enumerate() {
             for (&v, state) in &worker.vertices {
-                assert_eq!(self.state_at[v as usize] as usize, w, "state_at drifted for {v}");
+                assert_eq!(
+                    self.state_at[v as usize] as usize, w,
+                    "state_at drifted for {v}"
+                );
                 let lv = self.locations[v as usize];
                 assert_ne!(lv, WorkerId::MAX, "hosted vertex {v} marked dead");
                 sizes[lv as usize] += 1;
@@ -552,7 +562,10 @@ impl<P: VertexProgram> Engine<P> {
                 for &n in &state.neighbors {
                     let nw = self.state_at[n as usize];
                     assert_ne!(nw, WorkerId::MAX, "edge to dead vertex {n}");
-                    let nstate = self.workers[nw as usize].vertices.get(&n).expect("neighbor state");
+                    let nstate = self.workers[nw as usize]
+                        .vertices
+                        .get(&n)
+                        .expect("neighbor state");
                     assert!(
                         nstate.neighbors.binary_search(&v).is_ok(),
                         "asymmetric edge {v} -> {n}"
@@ -573,7 +586,11 @@ impl<P: VertexProgram> Engine<P> {
             .as_ref()
             .map(|c| c.config().capacity_factor)
             .unwrap_or(1.10);
-        CapacityModel::vertex_balanced(self.num_live.max(1), self.workers.len() as PartitionId, factor)
+        CapacityModel::vertex_balanced(
+            self.num_live.max(1),
+            self.workers.len() as PartitionId,
+            factor,
+        )
     }
 
     fn place_vertex(&self, v: VertexId, caps: &CapacityModel) -> WorkerId {
@@ -591,7 +608,7 @@ impl<P: VertexProgram> Engine<P> {
     fn is_live(&self, v: VertexId) -> bool {
         self.locations
             .get(v as usize)
-            .map_or(false, |&w| w != WorkerId::MAX)
+            .is_some_and(|&w| w != WorkerId::MAX)
     }
 
     fn add_edge_internal(&mut self, u: VertexId, v: VertexId) -> bool {
@@ -648,7 +665,10 @@ impl<P: VertexProgram> Engine<P> {
         let state = self.workers[w].vertices.remove(&v).expect("state for v");
         for &n in &state.neighbors {
             let wn = self.state_at[n as usize] as usize;
-            let sn = self.workers[wn].vertices.get_mut(&n).expect("neighbor state");
+            let sn = self.workers[wn]
+                .vertices
+                .get_mut(&n)
+                .expect("neighbor state");
             if let Ok(pos) = sn.neighbors.binary_search(&v) {
                 sn.neighbors.remove(pos);
             }
@@ -858,7 +878,10 @@ mod tests {
             .build(&g, TokenConservation);
         let reports = e.run(20);
         let migrated: u64 = reports.iter().map(|r| r.migrations_completed).sum();
-        assert!(migrated > 50, "test needs churn, only {migrated} migrations");
+        assert!(
+            migrated > 50,
+            "test needs churn, only {migrated} migrations"
+        );
         e.audit();
     }
 
@@ -869,8 +892,9 @@ mod tests {
         let reports = e.run_until_halt(10);
         assert!(reports.len() <= 3, "should halt after 2-3 supersteps");
         assert_eq!(e.vertex_value(0), Some(&3)); // corner
+
         // Centre vertex of a 4^3 mesh has full degree 6.
-        let centre = (1 * 4 + 1) * 4 + 1;
+        let centre = (4 + 1) * 4 + 1;
         assert_eq!(e.vertex_value(centre), Some(&6));
     }
 
@@ -1014,7 +1038,10 @@ mod tests {
                 .build(&g, TokenConservation);
             let reports = e.run(12);
             (
-                reports.iter().map(|r| r.migrations_completed).collect::<Vec<_>>(),
+                reports
+                    .iter()
+                    .map(|r| r.migrations_completed)
+                    .collect::<Vec<_>>(),
                 e.cut_edges(),
             )
         };

@@ -60,9 +60,7 @@ impl FaultPlan {
     pub fn penalty_at(&self, superstep: usize) -> f64 {
         self.events
             .iter()
-            .filter(|e| {
-                superstep >= e.superstep && superstep < e.superstep + e.recovery_supersteps
-            })
+            .filter(|e| superstep >= e.superstep && superstep < e.superstep + e.recovery_supersteps)
             .map(|e| e.recovery_penalty)
             .sum()
     }

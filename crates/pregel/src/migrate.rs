@@ -205,16 +205,15 @@ mod tests {
         // Quota from 0 -> 1 is C_rem(1)/(k-1) = 2/1 = 2: two admits, then deny.
         let mut admitted = 0;
         for _ in 0..5 {
-            if c
-                .evaluate_vertex(
-                    &mut kernel,
-                    &mut quota,
-                    &mut rng,
-                    0,
-                    neighbors.iter(),
-                    &locations_remote,
-                )
-                .is_some()
+            if c.evaluate_vertex(
+                &mut kernel,
+                &mut quota,
+                &mut rng,
+                0,
+                neighbors.iter(),
+                &locations_remote,
+            )
+            .is_some()
             {
                 admitted += 1;
             }
@@ -247,7 +246,14 @@ mod tests {
         let locations = vec![WorkerId::MAX, 0];
         let neighbors: Vec<VertexId> = vec![0];
         // The only neighbour is tombstoned -> isolated -> stays.
-        let dec = c.evaluate_vertex(&mut kernel, &mut quota, &mut rng, 0, neighbors.iter(), &locations);
+        let dec = c.evaluate_vertex(
+            &mut kernel,
+            &mut quota,
+            &mut rng,
+            0,
+            neighbors.iter(),
+            &locations,
+        );
         assert_eq!(dec, None);
     }
 }

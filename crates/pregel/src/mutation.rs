@@ -75,8 +75,12 @@ impl MutationBatch {
     pub fn extend(&mut self, mut other: MutationBatch) {
         let offset = self.new_vertices.len();
         self.new_vertices.append(&mut other.new_vertices);
-        self.new_internal_edges
-            .extend(other.new_internal_edges.iter().map(|&(a, b)| (a + offset, b + offset)));
+        self.new_internal_edges.extend(
+            other
+                .new_internal_edges
+                .iter()
+                .map(|&(a, b)| (a + offset, b + offset)),
+        );
         self.add_edges.append(&mut other.add_edges);
         self.remove_edges.append(&mut other.remove_edges);
         self.remove_vertices.append(&mut other.remove_vertices);

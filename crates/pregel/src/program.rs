@@ -19,7 +19,11 @@ pub trait VertexProgram: Send + Sync + 'static {
 
     /// Called once per active vertex per superstep with the messages sent
     /// to it in the previous superstep.
-    fn compute(&self, ctx: &mut Context<'_, '_, Self::Value, Self::Message>, messages: &[Self::Message]);
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, '_, Self::Value, Self::Message>,
+        messages: &[Self::Message],
+    );
 
     /// Optional Pregel *combiner*: merges two messages bound for the same
     /// vertex at the sending worker, before they cross the network. Only

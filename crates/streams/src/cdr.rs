@@ -115,9 +115,18 @@ impl CdrStream {
     pub fn new(config: CdrConfig, seed: u64) -> Self {
         assert!(config.initial_subscribers > 0, "need subscribers");
         assert!(config.mean_community > 0, "need a community size");
-        assert!((0.0..=1.0).contains(&config.intra_community_prob), "bad intra prob");
-        assert!((0.0..=1.0).contains(&config.weekly_addition_rate), "bad addition rate");
-        assert!((0.0..=1.0).contains(&config.weekly_removal_rate), "bad removal rate");
+        assert!(
+            (0.0..=1.0).contains(&config.intra_community_prob),
+            "bad intra prob"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.weekly_addition_rate),
+            "bad addition rate"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.weekly_removal_rate),
+            "bad removal rate"
+        );
         let mut stream = CdrStream {
             config,
             rng: StdRng::seed_from_u64(seed),
@@ -159,7 +168,8 @@ impl CdrStream {
 
         // Weekly additions arrive spread through the week; for simplicity
         // they join at the start (they can call immediately).
-        let additions = ((self.num_live as f64) * self.config.weekly_addition_rate).round() as usize;
+        let additions =
+            ((self.num_live as f64) * self.config.weekly_addition_rate).round() as usize;
         for _ in 0..additions {
             events.joined.push(self.spawn_subscriber());
         }
@@ -204,8 +214,6 @@ impl CdrStream {
             } else {
                 self.new_community()
             }
-        } else if self.members.is_empty() {
-            self.new_community()
         } else {
             self.new_community()
         };

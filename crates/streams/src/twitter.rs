@@ -98,9 +98,18 @@ impl TwitterStream {
     /// Panics if `initial_users < 2` or probabilities are out of range.
     pub fn new(config: TwitterConfig, seed: u64) -> Self {
         assert!(config.initial_users >= 2, "need at least two users");
-        assert!((0.0..=1.0).contains(&config.mention_prob), "bad mention_prob");
-        assert!((0.0..=1.0).contains(&config.new_user_prob), "bad new_user_prob");
-        assert!((0.0..=1.0).contains(&config.community_prob), "bad community_prob");
+        assert!(
+            (0.0..=1.0).contains(&config.mention_prob),
+            "bad mention_prob"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.new_user_prob),
+            "bad new_user_prob"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.community_prob),
+            "bad community_prob"
+        );
         assert!(config.mean_community >= 2, "communities need members");
         let mut stream = TwitterStream {
             config,
@@ -249,7 +258,12 @@ mod tests {
         let mut s = TwitterStream::new(TwitterConfig::default(), 1);
         let night = s.window(4.0, 600.0);
         let peak = s.window(20.5, 600.0);
-        assert!(peak.tweets > 3 * night.tweets, "{} vs {}", peak.tweets, night.tweets);
+        assert!(
+            peak.tweets > 3 * night.tweets,
+            "{} vs {}",
+            peak.tweets,
+            night.tweets
+        );
         // Peak ~45 tweets/s for 600s ≈ 27000 tweets.
         assert!((20_000..35_000).contains(&peak.tweets), "{}", peak.tweets);
     }

@@ -29,7 +29,10 @@ fn main() {
         .build(&mesh, HeartSim::new());
 
     println!("\nphase (a): optimising the initial hash partitioning");
-    println!("{:>6} {:>10} {:>12} {:>12}", "step", "cuts", "migrations", "sim time");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "step", "cuts", "migrations", "sim time"
+    );
     let mut last_cut = 0;
     for step in 0..60 {
         let r = engine.superstep();
@@ -71,7 +74,10 @@ fn main() {
         engine.num_edges()
     );
 
-    println!("{:>6} {:>10} {:>12} {:>12}", "step", "cuts", "migrations", "sim time");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "step", "cuts", "migrations", "sim time"
+    );
     for step in 0..40 {
         let r = engine.superstep();
         last_cut = r.cut_edges.unwrap_or(last_cut);

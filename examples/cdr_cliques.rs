@@ -83,9 +83,6 @@ fn main() {
             fix_time,
             100.0 * dyn_time / fix_time
         );
-        println!(
-            "  largest clique observed: {}",
-            global_max_clique(&dynamic)
-        );
+        println!("  largest clique observed: {}", global_max_clique(&dynamic));
     }
 }

@@ -34,7 +34,10 @@ fn main() {
         .cut_every(0)
         .build(&initial, program);
 
-    println!("{:>6} {:>10} {:>12} {:>12} {:>9}", "hour", "tweets/s", "hash t", "adaptive t", "speedup");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>9}",
+        "hour", "tweets/s", "hash t", "adaptive t", "speedup"
+    );
     for window in 0..12 {
         let hour = 17.0 + window as f64 * 0.5; // evening ramp-up
         let batch = stream.window(hour, 1800.0);

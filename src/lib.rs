@@ -21,6 +21,8 @@
 //!   cardiac-FEM kernel.
 //! * [`streams`] — dynamic workloads: Twitter mention stream, CDR churn,
 //!   forest-fire bursts.
+//! * [`bench`] — the experiment drivers behind the `fig1`…`fig9`, `table1`,
+//!   `ablation` and `all` binaries regenerating the paper's evaluation.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 //! ```
 
 pub use apg_apps as apps;
+pub use apg_bench as bench;
 pub use apg_core as core;
 pub use apg_graph as graph;
 pub use apg_metis as metis;
@@ -49,8 +52,6 @@ pub use apg_streams as streams;
 pub mod prelude {
     pub use apg_core::{AdaptiveConfig, AdaptivePartitioner, ConvergenceReport};
     pub use apg_graph::{CsrGraph, DynGraph, Graph, VertexId};
-    pub use apg_partition::{
-        cut_edges, cut_ratio, InitialStrategy, PartitionId, Partitioning,
-    };
+    pub use apg_partition::{cut_edges, cut_ratio, InitialStrategy, PartitionId, Partitioning};
     pub use apg_pregel::{Context, CostModel, Engine, EngineBuilder, MutationBatch, VertexProgram};
 }

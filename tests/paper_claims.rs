@@ -28,7 +28,11 @@ fn fig1_willingness_shapes_convergence_not_quality() {
 
     // Quality: no meaningful difference across s (paper: "no statistical
     // difference in the number of cuts").
-    let cuts = [low.final_cut_ratio(), mid.final_cut_ratio(), one.final_cut_ratio()];
+    let cuts = [
+        low.final_cut_ratio(),
+        mid.final_cut_ratio(),
+        one.final_cut_ratio(),
+    ];
     let spread = cuts.iter().cloned().fold(f64::MIN, f64::max)
         - cuts.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread < 0.08, "cut ratios vary too much across s: {cuts:?}");
@@ -41,7 +45,10 @@ fn fig1_willingness_shapes_convergence_not_quality() {
         low.convergence_time(),
         mid.convergence_time()
     );
-    assert!(!one.converged(), "s = 1.0 must not converge (neighbour chasing)");
+    assert!(
+        !one.converged(),
+        "s = 1.0 must not converge (neighbour chasing)"
+    );
 }
 
 /// Figure 4: the iterative algorithm improves HSH/RND/MNN substantially
@@ -159,7 +166,10 @@ fn fig7b_burst_is_absorbed() {
         p.add_vertex_with_edges(&nbrs);
     }
     let spiked = p.cut_edges();
-    assert!(spiked > settled, "burst must raise the cut: {settled} -> {spiked}");
+    assert!(
+        spiked > settled,
+        "burst must raise the cut: {settled} -> {spiked}"
+    );
 
     p.run_to_convergence();
     let absorbed = p.cut_edges();

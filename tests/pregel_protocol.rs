@@ -5,7 +5,7 @@
 
 use apg::apps::{components::CcLabel, ConnectedComponents, PageRank};
 use apg::core::AdaptiveConfig;
-use apg::graph::{gen, Graph};
+use apg::graph::gen;
 use apg::pregel::{Context, EngineBuilder, MutationBatch, VertexProgram};
 
 /// Each vertex checks it receives exactly one message per neighbour per
@@ -17,7 +17,13 @@ impl VertexProgram for Conservation {
     type Message = u8;
     fn compute(&self, ctx: &mut Context<'_, '_, u64, u8>, messages: &[u8]) {
         if ctx.superstep() > 0 {
-            assert_eq!(messages.len(), ctx.degree(), "vertex {} at {}", ctx.id(), ctx.superstep());
+            assert_eq!(
+                messages.len(),
+                ctx.degree(),
+                "vertex {} at {}",
+                ctx.id(),
+                ctx.superstep()
+            );
         }
         *ctx.value_mut() += messages.len() as u64;
         ctx.send_to_neighbors(1);
@@ -120,7 +126,11 @@ fn components_correct_under_migration_and_mutation() {
     engine.run_until_halt(60);
 
     for v in 0..300u32 {
-        assert_eq!(engine.vertex_value(v), Some(&CcLabel(0)), "vertex {v} not merged");
+        assert_eq!(
+            engine.vertex_value(v),
+            Some(&CcLabel(0)),
+            "vertex {v} not merged"
+        );
     }
     engine.audit();
 }

@@ -1,0 +1,249 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate implements exactly the rand 0.8 API surface the
+//! workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] extension methods (`gen`, `gen_range`, `gen_bool`) and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — statistically solid for simulation workloads, though its
+//! streams differ from upstream `StdRng` (ChaCha12), so seeds are not
+//! bit-compatible with the real crate.
+
+use std::ops::Range;
+
+/// Minimal core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface; only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from the "standard" distribution.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`]. Implemented for half-open ranges
+/// of the primitive integer and float types.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                // Lemire-style widening multiply avoids modulo bias for the
+                // range widths a graph workload uses (always << 2^64).
+                let hi = ((rng.next_u64() as u128 * width) >> 64) as $t;
+                self.start + hi
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * width) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
+/// Extension methods over any [`RngCore`], mirroring rand 0.8's `Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. `p >= 1.0` always returns true.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the workspace's deterministic standard generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers; only `shuffle` (Fisher–Yates) is provided.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let w = (i + 1) as u128;
+                let j = ((rng.next_u64() as u128 * w) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let (x, y, z): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` to mark types as
+//! wire-ready — nothing serialises through the serde data model yet (see the
+//! `serde_round_trip` test in `apg-graph`, which formats fields manually).
+//! So this vendored crate ships the two traits as markers plus derive macros
+//! that emit empty impls. When real serialisation lands (snapshots, RPC),
+//! swap the workspace `path` dependency for registry serde; every
+//! `#[derive(Serialize, Deserialize)]` already in the tree keeps working.
+
+/// Marker: the type is intended to be serialisable.
+pub trait Serialize {}
+
+/// Marker: the type is intended to be deserialisable.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

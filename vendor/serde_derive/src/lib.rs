@@ -1,0 +1,48 @@
+//! Derive macros for the vendored serde stand-in: emit empty marker-trait
+//! impls. No `syn`/`quote` (offline build), so the input is scanned by hand:
+//! the type name is the identifier following `struct`/`enum`/`union`, and a
+//! `<...>` group after it would be generics (unsupported — none of the
+//! workspace's serialisable types are generic; the macro panics loudly if
+//! that changes rather than emitting a broken impl).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(ref id) = tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match iter.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                            panic!(
+                                "vendored serde_derive does not support generic type `{name}`; \
+                                 extend vendor/serde_derive or switch to registry serde"
+                            );
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("no struct/enum/union found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
