@@ -43,4 +43,7 @@ fn main() {
 
     banner("Figure 9");
     fig9::print(&fig9::run(args.scale, args.seed));
+
+    banner("Thread scaling");
+    scaling::print(&scaling::run(args.scale, args.reps(), args.seed));
 }

@@ -1,0 +1,20 @@
+//! Thread-scaling benchmark for the sharded decision sweep; writes
+//! `BENCH_scaling.json` next to the working directory.
+//!
+//! Default (quick) scale already runs the ≥100k-vertex power-law
+//! configuration; `--scale paper` raises it to 250k vertices.
+
+use apg_bench::experiments::scaling;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let result = scaling::run(args.scale, args.reps(), args.seed);
+    scaling::print(&result);
+
+    let path = "BENCH_scaling.json";
+    match std::fs::write(path, scaling::to_json(&result)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

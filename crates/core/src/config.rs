@@ -99,6 +99,14 @@ pub struct AdaptiveConfig {
     /// ("the partition where the highest number of its *neighbouring*
     /// vertices are") — the ablation bench compares both.
     pub count_self: bool,
+    /// Threads for the per-iteration decision sweep (default: available
+    /// cores; `1` runs inline on the caller's thread with no spawn).
+    ///
+    /// The sweep is sharded deterministically by vertex range with one RNG
+    /// stream per shard (`apg-exec`), so for a fixed seed the migration
+    /// history is **identical at every parallelism level** — this knob
+    /// trades wall-clock only, never results.
+    pub parallelism: usize,
 }
 
 impl AdaptiveConfig {
@@ -120,6 +128,7 @@ impl AdaptiveConfig {
             anneal: None,
             balance_edges: false,
             count_self: false,
+            parallelism: apg_exec::available_parallelism(),
         }
     }
 
@@ -180,6 +189,19 @@ impl AdaptiveConfig {
     /// Switches the balance objective to edge endpoints (paper §6).
     pub fn balance_on_edges(mut self, yes: bool) -> Self {
         self.balance_edges = yes;
+        self
+    }
+
+    /// Sets the decision-sweep thread count (`1` = sequential). Results are
+    /// identical at any value for a fixed seed; see
+    /// [`AdaptiveConfig::parallelism`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.parallelism = threads;
         self
     }
 
@@ -249,6 +271,20 @@ mod tests {
         // Constant when no schedule is set.
         let plain = AdaptiveConfig::new(2);
         assert!((plain.willingness_at(7) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_available_cores() {
+        let c = AdaptiveConfig::new(4);
+        assert_eq!(c.parallelism, apg_exec::available_parallelism());
+        assert!(c.parallelism >= 1);
+        assert_eq!(AdaptiveConfig::new(4).parallelism(6).parallelism, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn rejects_zero_parallelism() {
+        let _ = AdaptiveConfig::new(2).parallelism(0);
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //! The implementation here is the algorithm at the paper's §2 "logical
 //! level": one process iterating over the whole graph, faithful to the
 //! iteration semantics (all decisions in iteration `t` observe the state at
-//! the start of `t`). The distributed realisation with deferred migration
-//! and capacity messaging (§3) lives in the `apg-pregel` crate and reuses
-//! the decision kernel from this one.
+//! the start of `t`). Because every vertex decides from stale neighbour
+//! labels, the decision sweep is embarrassingly parallel: it runs sharded
+//! over [`AdaptiveConfig::parallelism`] threads via the `apg-exec` layer,
+//! with per-shard RNG streams keeping results identical at any thread
+//! count. The distributed realisation with deferred migration and capacity
+//! messaging (§3) lives in the `apg-pregel` crate and reuses the decision
+//! kernel and the same execution layer, so the two cannot drift.
 //!
 //! # Example
 //!

@@ -1,9 +1,9 @@
 //! The adaptive iterative vertex-migration partitioner.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use apg_exec::{fanout, merge_in_order, stream_rng, ShardPlan};
 use apg_graph::{DynGraph, Graph, VertexId};
 use apg_partition::{
     cut_edges, initial::hash_vertex, CapacityModel, InitialStrategy, PartitionId, Partitioning,
@@ -64,6 +64,20 @@ enum CapacityMode {
 /// incrementally, so per-iteration cost is `O(|V| + Σ deg(migrants))`, not
 /// `O(|E|)`.
 ///
+/// # Parallel execution
+///
+/// Each iteration's decision phase runs on up to
+/// [`AdaptiveConfig::parallelism`] threads: the vertex-slot range is cut
+/// into fixed-size shards (`apg-exec`), every shard evaluates its vertices
+/// with a private [`DecisionKernel`] and an RNG stream derived from
+/// `(seed, shard, iteration)`, all against the **frozen snapshot** of the
+/// graph and assignment taken at the start of the iteration (the `&self`
+/// borrow guarantees no mutation can interleave). Quota admission and the
+/// actual moves happen afterwards in a single-threaded merge, in ascending
+/// vertex order. Because nothing random or order-dependent is tied to a
+/// thread, the migration history for a fixed seed is identical at every
+/// parallelism level.
+///
 /// # Example
 ///
 /// ```
@@ -84,8 +98,7 @@ pub struct AdaptivePartitioner {
     partitioning: Partitioning,
     config: AdaptiveConfig,
     capacity_mode: CapacityMode,
-    kernel: DecisionKernel,
-    rng: StdRng,
+    seed: u64,
     cut: usize,
     /// Per-partition degree mass (edge endpoints), maintained for the
     /// edge-balanced extension and load diagnostics.
@@ -171,7 +184,6 @@ impl AdaptivePartitioner {
     ) -> Self {
         partitioning.recount_live(&graph);
         let cut = cut_edges(&graph, &partitioning);
-        let kernel = DecisionKernel::new(config.num_partitions, config.count_self);
         let mut degree_mass = vec![0usize; config.num_partitions as usize];
         for v in graph.vertices() {
             degree_mass[partitioning.partition_of(v) as usize] += graph.degree(v);
@@ -181,8 +193,7 @@ impl AdaptivePartitioner {
             partitioning,
             config,
             capacity_mode,
-            kernel,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             cut,
             degree_mass,
             iteration: 0,
@@ -263,7 +274,9 @@ impl AdaptivePartitioner {
     ///
     /// All migration decisions observe the assignment as it stood at the
     /// start of the iteration (the paper's iteration semantics); moves are
-    /// applied together afterwards.
+    /// applied together afterwards. The decision phase runs on up to
+    /// [`AdaptiveConfig::parallelism`] threads with results independent of
+    /// the thread count (see the type-level docs).
     pub fn iterate(&mut self) -> IterationStats {
         let k = self.config.num_partitions;
         let caps = self.capacities();
@@ -280,31 +293,53 @@ impl AdaptivePartitioner {
             .collect();
         let mut quota = QuotaTable::new(self.config.quota_rule, &remaining);
 
-        // Decision phase: read-only on the assignment.
-        self.pending.clear();
+        // Decision phase: every shard proposes migrations for its slot range
+        // against the frozen graph + assignment, drawing from its own
+        // (seed, shard, iteration) RNG stream. Read-only, embarrassingly
+        // parallel; proposals come back in shard order = vertex order.
         let s = self.config.willingness_at(self.iteration);
-        for v in self.graph.vertices() {
-            if s < 1.0 && !self.rng.gen_bool(s) {
-                continue;
-            }
-            let current = self.partitioning.partition_of(v);
-            let partitioning = &self.partitioning;
-            let neighbor_parts = self
-                .graph
-                .neighbors(v)
-                .iter()
-                .map(|&w| partitioning.partition_of(w));
-            if let MigrationDecision::Migrate(to) =
-                self.kernel.decide(current, neighbor_parts, &mut self.rng)
-            {
-                let units = if balance_edges {
-                    self.graph.degree(v)
-                } else {
-                    1
-                };
-                if quota.try_consume_units(current, to, units) {
-                    self.pending.push((v, to));
+        let plan = ShardPlan::with_default_size(self.graph.slot_range().len());
+        let graph = &self.graph;
+        let partitioning = &self.partitioning;
+        let count_self = self.config.count_self;
+        let seed = self.seed;
+        let round = self.iteration as u64;
+        let proposals: Vec<Vec<(VertexId, PartitionId)>> =
+            fanout::map_shards(self.config.parallelism, &plan, |shard, slots| {
+                let mut kernel = DecisionKernel::new(k, count_self);
+                let mut rng = stream_rng(seed, shard as u64, round);
+                let mut out = Vec::new();
+                for v in graph.live_in(slots) {
+                    if s < 1.0 && !rng.gen_bool(s) {
+                        continue;
+                    }
+                    let current = partitioning.partition_of(v);
+                    let neighbor_parts = graph
+                        .neighbors(v)
+                        .iter()
+                        .map(|&w| partitioning.partition_of(w));
+                    if let MigrationDecision::Migrate(to) =
+                        kernel.decide(current, neighbor_parts, &mut rng)
+                    {
+                        out.push((v, to));
+                    }
                 }
+                out
+            });
+
+        // Merge phase: single-threaded and deterministic — admit proposals
+        // against the quota table in ascending vertex order (exactly what a
+        // sequential sweep would have consumed), then apply.
+        self.pending.clear();
+        for (v, to) in merge_in_order(proposals) {
+            let current = self.partitioning.partition_of(v);
+            let units = if balance_edges {
+                self.graph.degree(v)
+            } else {
+                1
+            };
+            if quota.try_consume_units(current, to, units) {
+                self.pending.push((v, to));
             }
         }
 
@@ -623,6 +658,23 @@ mod tests {
         b.run_for(20);
         assert_eq!(a.partitioning(), b.partitioning());
         assert_eq!(a.cut_edges(), b.cut_edges());
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_count_invariant() {
+        // 8000 slots span multiple shards, so parallelism > 1 genuinely
+        // fans out; the histories must be identical anyway.
+        let g = gen::mesh3d(20, 20, 20);
+        let run = |threads: usize| {
+            let cfg = AdaptiveConfig::new(4).parallelism(threads);
+            let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 17);
+            let history = p.run_for(25);
+            p.audit();
+            (history, p.partitioning().clone(), p.cut_edges())
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(3));
+        assert_eq!(sequential, run(8));
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! it. The paper's worst-case rule splits each partition's remaining
 //! capacity `C^t(j)` evenly across the `k − 1` possible senders:
 //! `Q^t(i, j) = C^t(j) / (k − 1)`.
+//!
+//! The table is **not** shared across the parallel decision sweep: shards
+//! only *propose* migrations, and the partitioner consumes the table in its
+//! single-threaded merge phase, in ascending vertex order — the same
+//! admissions a sequential sweep would make, at any thread count.
 
 use apg_partition::PartitionId;
 

@@ -135,6 +135,29 @@ impl DynGraph {
         CsrGraph::from_sorted_adjacency(self.adj.clone())
     }
 
+    /// The full vertex-slot range `0..num_vertices()`, tombstones included.
+    ///
+    /// This is the domain the parallel execution layer shards: it depends
+    /// only on how many ids were ever allocated, so a shard plan over it is
+    /// stable across thread counts (pair with [`Graph::is_vertex`] to skip
+    /// tombstones inside a shard).
+    pub fn slot_range(&self) -> std::ops::Range<usize> {
+        0..self.adj.len()
+    }
+
+    /// Live vertices within a slot sub-range, ascending — the read-only
+    /// shard view the parallel decision sweep iterates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots.end > num_vertices()`.
+    pub fn live_in(&self, slots: std::ops::Range<usize>) -> impl Iterator<Item = VertexId> + '_ {
+        self.alive[slots.clone()]
+            .iter()
+            .zip(slots)
+            .filter_map(|(&alive, slot)| alive.then_some(slot as VertexId))
+    }
+
     /// Returns every undirected edge once, with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
@@ -179,8 +202,32 @@ impl Graph for DynGraph {
         (v as usize) < self.alive.len() && self.alive[v as usize]
     }
 
+    /// Neighbours of `v` in ascending order.
+    ///
+    /// **Tombstone semantics:** calling this on a *removed* vertex returns
+    /// the empty slice — [`DynGraph::remove_vertex`] strips the adjacency
+    /// when it tombstones the id — so tombstones look like isolated
+    /// vertices, never like their former selves. Ids that were never
+    /// allocated (`v >= num_vertices()`) panic.
     fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v as usize]
+        let list = &self.adj[v as usize];
+        debug_assert!(
+            self.alive[v as usize] || list.is_empty(),
+            "tombstone {v} still holds adjacency"
+        );
+        list
+    }
+
+    /// Degree of `v`.
+    ///
+    /// **Tombstone semantics:** 0 for a removed vertex (its adjacency was
+    /// stripped at removal); panics for ids that were never allocated.
+    fn degree(&self, v: VertexId) -> usize {
+        debug_assert!(
+            self.alive[v as usize] || self.adj[v as usize].is_empty(),
+            "tombstone {v} still holds adjacency"
+        );
+        self.adj[v as usize].len()
     }
 }
 
@@ -247,6 +294,30 @@ mod tests {
         let back = DynGraph::from(&csr);
         assert_eq!(back.num_edges(), 3);
         assert_eq!(back.neighbors(1), g.neighbors(1));
+    }
+
+    #[test]
+    fn tombstones_read_as_isolated() {
+        let mut g = DynGraph::with_vertices(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.remove_vertex(1);
+        // Documented semantics: neighbors/degree on a tombstone are empty/0.
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(g.degree(1), 0);
+        assert!(!g.is_vertex(1));
+    }
+
+    #[test]
+    fn live_in_matches_vertices_per_shard() {
+        let mut g = DynGraph::with_vertices(10);
+        g.remove_vertex(2);
+        g.remove_vertex(7);
+        assert_eq!(g.slot_range(), 0..10);
+        let stitched: Vec<VertexId> = g.live_in(0..5).chain(g.live_in(5..10)).collect();
+        let whole: Vec<VertexId> = g.vertices().collect();
+        assert_eq!(stitched, whole);
+        assert_eq!(g.live_in(2..3).count(), 0);
     }
 
     #[test]

@@ -255,36 +255,28 @@ impl<P: VertexProgram> Engine<P> {
         let num_live = self.num_live;
         let caps_ref = &caps;
 
-        let outputs: Vec<WorkerOutput<P::Message>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .workers
-                .iter_mut()
-                .zip(inboxes)
-                .enumerate()
-                .map(|(w, (worker, inbox))| {
-                    scope.spawn(move || {
-                        run_worker(
-                            program,
-                            w as WorkerId,
-                            worker,
-                            inbox,
-                            locations,
-                            in_flight,
-                            controller,
-                            caps_ref,
-                            agg_prev,
-                            t,
-                            num_live,
-                            k,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
+        // Worker fan-out over the shared execution layer: one scoped thread
+        // per worker, outputs returned in worker order (same primitive the
+        // logical-level partitioner shards its decision sweep with, so the
+        // two realisations cannot drift).
+        let items: Vec<_> = self.workers.iter_mut().zip(inboxes).collect();
+        let outputs: Vec<WorkerOutput<P::Message>> =
+            apg_exec::map_items(k, items, |w, (worker, inbox)| {
+                run_worker(
+                    program,
+                    w as WorkerId,
+                    worker,
+                    inbox,
+                    locations,
+                    in_flight,
+                    controller,
+                    caps_ref,
+                    agg_prev,
+                    t,
+                    num_live,
+                    k,
+                )
+            });
 
         // ---- merge phase (single-threaded, at the barrier) ----
         let mut counters_total = WorkerCounters::default();

@@ -19,7 +19,7 @@
 //!   broadcasts.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use apg_core::{AdaptiveConfig, DecisionKernel, MigrationDecision, QuotaTable};
 use apg_graph::VertexId;
@@ -95,12 +95,11 @@ impl MigrationController {
     }
 
     /// Deterministic per-worker RNG for superstep `t` — independent of
-    /// thread scheduling.
+    /// thread scheduling. Derived through the shared `apg-exec` stream
+    /// derivation (worker id as the stream, superstep as the round), the
+    /// same scheme the logical-level partitioner keys its shards with.
     pub fn worker_rng(&self, worker: WorkerId, superstep: usize) -> StdRng {
-        let mut h = self.seed ^ 0x51_7c_c1_b7_27_22_0a_95u64;
-        h = h.wrapping_mul(0x100000001b3).wrapping_add(worker as u64);
-        h = h.wrapping_mul(0x100000001b3).wrapping_add(superstep as u64);
-        StdRng::seed_from_u64(h)
+        apg_exec::stream_rng(self.seed, worker as u64, superstep as u64)
     }
 
     /// Fresh decision kernel for a worker thread.

@@ -14,6 +14,9 @@
 //!   strategies the paper compares (HSH, RND, DGR, MNN).
 //! * [`metis`] — a multilevel k-way partitioner standing in for METIS.
 //! * [`core`] — the adaptive iterative vertex-migration heuristic itself.
+//! * [`exec`] — the sharded parallel execution layer (shard plans,
+//!   deterministic RNG streams, scoped-thread fan-out) both the logical
+//!   partitioner and the Pregel engine run on.
 //! * [`pregel`] — a Pregel-like BSP engine with the paper's partitioning
 //!   API extension (deferred migration, capacity messaging), plus the cost
 //!   model and fault injection used in the evaluation.
@@ -42,6 +45,7 @@
 pub use apg_apps as apps;
 pub use apg_bench as bench;
 pub use apg_core as core;
+pub use apg_exec as exec;
 pub use apg_graph as graph;
 pub use apg_metis as metis;
 pub use apg_partition as partition;

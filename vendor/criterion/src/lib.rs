@@ -4,9 +4,11 @@
 //! `criterion_main!`, `Criterion::benchmark_group`/`bench_function`,
 //! `BenchmarkGroup::bench_with_input`/`sample_size`/`finish`, `BenchmarkId`,
 //! `black_box`, `Bencher::iter` — so `cargo bench --no-run` compile-checks
-//! the real bench sources. Running the benches times each closure over a
-//! fixed number of iterations and prints mean wall-clock time per iteration:
-//! honest numbers, none of criterion's statistics. Swap the workspace `path`
+//! the real bench sources. Running the benches times each invocation of the
+//! routine individually and prints mean, min and median wall-clock per
+//! iteration — min/median keep warm-up outliers (allocator growth, first-
+//! touch page faults, cold caches) from skewing scaling comparisons — but
+//! none of criterion's heavier statistics. Swap the workspace `path`
 //! dependency for registry criterion to get the real harness.
 
 use std::fmt::Display;
@@ -15,7 +17,8 @@ use std::time::Instant;
 pub use std::hint::black_box;
 
 /// How many times [`Bencher::iter`] invokes the routine when benches are
-/// actually executed (CI only compile-checks them).
+/// actually executed (CI only compile-checks them). Each invocation is
+/// timed as its own sample so the reported min/median are meaningful.
 const ITERS: u32 = 10;
 
 #[derive(Default)]
@@ -99,35 +102,51 @@ impl Display for BenchmarkId {
 }
 
 pub struct Bencher {
-    total_nanos: u128,
-    total_iters: u64,
+    /// Wall-clock of each individual routine invocation, in nanoseconds.
+    samples: Vec<u128>,
 }
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        let start = Instant::now();
         for _ in 0..ITERS {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed().as_nanos());
         }
-        self.total_nanos += start.elapsed().as_nanos();
-        self.total_iters += u64::from(ITERS);
     }
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
     let mut b = Bencher {
-        total_nanos: 0,
-        total_iters: 0,
+        samples: Vec::with_capacity(ITERS as usize),
     };
     f(&mut b);
-    let per_iter = b
-        .total_nanos
-        .checked_div(u128::from(b.total_iters))
-        .unwrap_or(0);
+    if b.samples.is_empty() {
+        println!("bench {id:<50} (routine never ran)");
+        return;
+    }
+    let (mean, min, median) = summarize(&mut b.samples);
     println!(
-        "bench {id:<50} {per_iter:>12} ns/iter (n={})",
-        b.total_iters
+        "bench {id:<50} mean {mean:>12} ns/iter  min {min:>12}  median {median:>12} (n={})",
+        b.samples.len()
     );
+}
+
+/// Sorts the samples and returns `(mean, min, median)` nanoseconds.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+fn summarize(samples: &mut [u128]) -> (u128, u128, u128) {
+    samples.sort_unstable();
+    let n = samples.len();
+    let mean = samples.iter().sum::<u128>() / n as u128;
+    let median = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
+    };
+    (mean, samples[0], median)
 }
 
 #[macro_export]
@@ -147,4 +166,40 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_resists_warmup_outliers() {
+        // One cold 1000ns sample among warm 10ns ones: the mean is dragged
+        // up ~10x, min/median stay honest — which is why the scaling bench
+        // reads them.
+        let mut samples = vec![1000u128, 10, 10, 10, 10, 10, 10, 10, 10, 10];
+        let (mean, min, median) = summarize(&mut samples);
+        assert_eq!(min, 10);
+        assert_eq!(median, 10);
+        assert_eq!(mean, 109);
+    }
+
+    #[test]
+    fn even_sample_count_takes_middle_mean() {
+        let mut samples = vec![40u128, 10, 20, 30];
+        let (_, min, median) = summarize(&mut samples);
+        assert_eq!(min, 10);
+        assert_eq!(median, 25);
+    }
+
+    #[test]
+    fn bencher_records_one_sample_per_invocation() {
+        let mut count = 0u32;
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, ITERS);
+        assert_eq!(b.samples.len(), ITERS as usize);
+    }
 }
