@@ -46,4 +46,7 @@ fn main() {
 
     banner("Thread scaling");
     scaling::print(&scaling::run(args.scale, args.reps(), args.seed));
+
+    banner("Streaming ingestion");
+    streaming::print(&streaming::run(args.scale, args.reps(), args.seed));
 }

@@ -1,0 +1,18 @@
+//! Streaming-ingestion benchmark: CDR weeks, Twitter windows and a
+//! forest-fire burst, each swept over batch sizes through the canonical
+//! `StreamSource` → `StreamingRunner` path; writes `BENCH_streaming.json`.
+
+use apg_bench::experiments::streaming;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let result = streaming::run(args.scale, args.reps(), args.seed);
+    streaming::print(&result);
+
+    let path = "BENCH_streaming.json";
+    match std::fs::write(path, streaming::to_json(&result)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -9,7 +9,7 @@
 
 use apg_apps::HeartSim;
 use apg_core::AdaptiveConfig;
-use apg_graph::{gen, DynGraph, Graph, VertexId};
+use apg_graph::{gen, DynGraph, Graph};
 use apg_pregel::{CostModel, Engine, EngineBuilder, MutationBatch};
 
 use crate::Scale;
@@ -66,7 +66,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig7Result {
         Scale::Tiny => (60, 80),
     };
     let mesh = gen::mesh3d(side, side, side);
-    let mut shadow = DynGraph::from(&mesh);
+    let shadow = DynGraph::from(&mesh);
     let vertices_before = shadow.num_live_vertices();
     let edges_before = shadow.num_edges();
 
@@ -88,7 +88,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig7Result {
 
     // Phase b: the paper's "huge increase in load" — inject the burst into
     // both engines and re-baseline on the grown graph.
-    let batch = burst_batch(&mut shadow, seed ^ 0xF1FE);
+    let batch = burst_batch(&shadow, seed ^ 0xF1FE);
     let batch_static = batch.clone();
     engine.apply_mutations(batch);
     static_engine.apply_mutations(batch_static);
@@ -105,31 +105,15 @@ pub fn run(scale: Scale, seed: u64) -> Fig7Result {
     }
 }
 
-/// Builds the +10% forest-fire burst as a mutation batch, advancing the
-/// shadow graph. Engine vertex ids and shadow ids stay aligned because both
-/// allocate sequentially.
-pub fn burst_batch(shadow: &mut DynGraph, seed: u64) -> MutationBatch {
-    let before_slots = shadow.num_vertices();
-    let new_ids = apg_streams::forest_fire_burst(shadow, seed);
-    let mut batch = MutationBatch::new();
-    for (i, &v) in new_ids.iter().enumerate() {
-        let existing: Vec<VertexId> = shadow
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&w| (w as usize) < before_slots)
-            .collect();
-        let placeholder = batch.add_vertex(existing);
-        debug_assert_eq!(placeholder, i);
-    }
-    for (i, &v) in new_ids.iter().enumerate() {
-        for &w in shadow.neighbors(v) {
-            if (w as usize) >= before_slots && w > v {
-                batch.connect_new(i, (w as usize) - before_slots);
-            }
-        }
-    }
-    batch
+/// Builds the +10% forest-fire burst as a mutation batch via the shared
+/// delta model. The base graph is borrowed, not advanced; engine vertex
+/// ids and the batch's ids stay aligned because both allocate
+/// sequentially.
+pub fn burst_batch(base: &DynGraph, seed: u64) -> MutationBatch {
+    let burst = base.num_live_vertices() / 10;
+    let batch =
+        apg_streams::forest_fire_delta(base, &apg_streams::ForestFireConfig::burst(burst, seed));
+    MutationBatch::from(batch)
 }
 
 fn run_phase(engine: &mut Engine<HeartSim>, baseline: f64, cap: usize) -> Vec<Fig7Point> {

@@ -160,28 +160,14 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig8Point> {
     points
 }
 
-/// Converts a mention batch into engine mutations; user indices beyond the
-/// engine's current slots become new vertices (ids align because both sides
-/// allocate sequentially).
+/// Converts a mention batch into engine mutations via the shared delta
+/// model; user indices beyond the engine's current slots become new
+/// vertices (ids align because both sides allocate sequentially).
 pub fn batch_to_mutations(
     batch: &apg_streams::MentionBatch,
     current_slots: usize,
 ) -> MutationBatch {
-    let mut m = MutationBatch::new();
-    let new_users = batch.num_users.saturating_sub(current_slots);
-    for _ in 0..new_users {
-        m.add_vertex(Vec::new());
-    }
-    for &(a, b) in &batch.edges {
-        let (a, b) = (a as u32, b as u32);
-        // Edges among pre-existing users go through add_edge; edges touching
-        // new users also do — new ids are already allocated above and the
-        // engine applies additions before edges.
-        if (a as usize) < current_slots + new_users && (b as usize) < current_slots + new_users {
-            m.add_edge(a, b);
-        }
-    }
-    m
+    MutationBatch::from(batch.to_update_batch(current_slots))
 }
 
 /// Prints the three series of Figure 8.

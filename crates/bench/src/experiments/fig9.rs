@@ -9,7 +9,7 @@ use apg_apps::MaxClique;
 use apg_core::{mean_and_sem, AdaptiveConfig, Summary};
 use apg_graph::DynGraph;
 use apg_pregel::{CostModel, Engine, EngineBuilder, MutationBatch};
-use apg_streams::{CdrConfig, CdrStream};
+use apg_streams::{CdrConfig, CdrStream, StreamSource};
 
 use crate::Scale;
 
@@ -62,40 +62,27 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig9Week> {
         .build(&initial, MaxClique::new());
 
     let mut weeks = Vec::with_capacity(WEEKS);
+    let batches_per_week = config.batches_per_week;
     for week in 1..=WEEKS {
-        let events = stream.week();
         let mut dyn_times = Vec::new();
         let mut stat_times = Vec::new();
 
-        // Subscribers joining this week enter before the first round.
-        let mut joiners = MutationBatch::new();
-        for _ in &events.joined {
-            joiners.add_vertex(Vec::new());
-        }
-        dynamic.apply_mutations(joiners.clone());
-        static_engine.apply_mutations(joiners);
-
-        for batch in &events.batches {
-            // Buffered graph changes for this round (the frozen-topology
-            // discipline: mutations land between rounds only).
-            let mut m = MutationBatch::new();
-            for &(a, b) in batch {
-                m.add_edge(a as u32, b as u32);
-            }
+        // The canonical ingestion path: one UpdateBatch per buffered call
+        // batch (the frozen-topology discipline — mutations land between
+        // rounds only), with the week's joiners opening its first batch and
+        // the week-end departures closing its last. NOTE: departures
+        // therefore land just before the week's final round (they used to
+        // land after it), so per-round times differ slightly from the
+        // pre-delta-model series; week-end cut ratios are unaffected.
+        for _ in 0..batches_per_week {
+            let batch = stream.next_batch().expect("CDR stream is open-ended");
+            let m = MutationBatch::from(batch);
             dynamic.apply_mutations(m.clone());
             static_engine.apply_mutations(m);
 
             dyn_times.push(clique_round(&mut dynamic));
             stat_times.push(clique_round(&mut static_engine));
         }
-
-        // Week-end churn: inactive subscribers leave.
-        let mut leavers = MutationBatch::new();
-        for &s in &events.departed {
-            leavers.remove_vertex(s as u32);
-        }
-        dynamic.apply_mutations(leavers.clone());
-        static_engine.apply_mutations(leavers);
 
         weeks.push(Fig9Week {
             week,

@@ -8,6 +8,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod scaling;
+pub mod streaming;
 pub mod table1;
 
 use apg_graph::CsrGraph;
@@ -40,6 +41,17 @@ pub fn headline_graphs(scale: Scale, seed: u64) -> Vec<(&'static str, CsrGraph)>
             ),
         ],
     }
+}
+
+/// FNV-1a fold over a stream of fields — the fingerprint the scaling and
+/// streaming benches use to witness the determinism contract.
+pub fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in values {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// Formats a float with a fixed number of decimals, right-aligned.

@@ -15,8 +15,9 @@
 use std::time::Instant;
 
 use apg_core::{AdaptiveConfig, AdaptivePartitioner, IterationStats};
-use apg_graph::{gen, CsrGraph, Graph, VertexId};
+use apg_graph::{gen, CsrGraph, DynGraph, Graph, UpdateBatch};
 use apg_partition::InitialStrategy;
+use apg_streams::{forest_fire_delta, ForestFireConfig};
 
 use crate::Scale;
 
@@ -56,7 +57,8 @@ pub struct WallStats {
 }
 
 impl WallStats {
-    fn from_samples(samples_ms: &[f64]) -> WallStats {
+    /// Summarises repetition samples (shared with the streaming bench).
+    pub fn from_samples(samples_ms: &[f64]) -> WallStats {
         assert!(!samples_ms.is_empty());
         let mut sorted = samples_ms.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN wall-clock"));
@@ -136,20 +138,16 @@ impl ScalingResult {
 }
 
 fn fingerprint(history: &[IterationStats]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    let mut mix = |x: u64| {
-        h ^= x;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    for s in history {
-        mix(s.iteration as u64);
-        mix(s.migrations as u64);
-        mix(s.cut_edges as u64);
-        mix(s.live_vertices as u64);
-        mix(s.num_edges as u64);
-        mix(s.max_partition as u64);
-    }
-    h
+    super::fnv1a(history.iter().flat_map(|s| {
+        [
+            s.iteration as u64,
+            s.migrations as u64,
+            s.cut_edges as u64,
+            s.live_vertices as u64,
+            s.num_edges as u64,
+            s.max_partition as u64,
+        ]
+    }))
 }
 
 fn config(threads: usize) -> AdaptiveConfig {
@@ -159,7 +157,7 @@ fn config(threads: usize) -> AdaptiveConfig {
 /// Static power-law refinement: `iters` iterations from a hash assignment.
 fn run_powerlaw(
     graph: &CsrGraph,
-    _burst: &[Vec<VertexId>],
+    _burst: &UpdateBatch,
     threads: usize,
     seed: u64,
     iters: usize,
@@ -172,13 +170,14 @@ fn run_powerlaw(
 }
 
 /// Dynamic absorption: refine briefly, replay the precomputed +10%
-/// forest-fire burst through the mutation API, keep iterating. The timed
-/// window covers the sweeps and the mutation replay — the scenario work —
-/// but not the burst *generation*, which is identical serial work at every
-/// thread count and would only dilute the measured scaling.
+/// forest-fire burst through the shared delta model
+/// (`AdaptivePartitioner::apply_batch`), keep iterating. The timed window
+/// covers the sweeps and the batch replay — the scenario work — but not
+/// the burst *generation*, which is identical serial work at every thread
+/// count and would only dilute the measured scaling.
 fn run_burst(
     graph: &CsrGraph,
-    burst: &[Vec<VertexId>],
+    burst: &UpdateBatch,
     threads: usize,
     seed: u64,
     iters: usize,
@@ -188,33 +187,18 @@ fn run_burst(
         AdaptivePartitioner::with_strategy(graph, InitialStrategy::Hash, &config(threads), seed);
     let start = Instant::now();
     let mut history = p.run_for(warm);
-    for nbrs in burst {
-        p.add_vertex_with_edges(nbrs);
-    }
+    p.apply_batch(burst);
     history.extend(p.run_for(iters - warm));
     (history, start.elapsed().as_secs_f64() * 1e3)
 }
 
 /// Precomputes the +10% forest-fire burst over the base graph as one
-/// neighbour list per new vertex, in insertion order. Iterations never
-/// change topology, so the same replay is valid at any warm-up point; new
-/// vertices are allocated sequentially, so an entry may reference earlier
-/// burst vertices by their future ids.
-fn burst_neighbor_lists(graph: &CsrGraph, seed: u64) -> Vec<Vec<VertexId>> {
-    let mut shadow = apg_graph::DynGraph::from(graph);
-    let before_slots = shadow.num_vertices();
-    let new_ids = apg_streams::forest_fire_burst(&mut shadow, seed ^ 0xF1FE);
-    new_ids
-        .iter()
-        .map(|&v| {
-            shadow
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&w| (w as usize) < before_slots || w < v)
-                .collect()
-        })
-        .collect()
+/// [`UpdateBatch`]. Iterations never change topology, so the same batch is
+/// valid at any warm-up point.
+fn burst_update_batch(graph: &CsrGraph, seed: u64) -> UpdateBatch {
+    let shadow = DynGraph::from(graph);
+    let burst = shadow.num_live_vertices() / 10;
+    forest_fire_delta(&shadow, &ForestFireConfig::burst(burst, seed ^ 0xF1FE))
 }
 
 /// Runs the full sweep.
@@ -223,10 +207,9 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> ScalingResult {
     let iters = iterations(scale);
     let graph = gen::holme_kim(n, 8, 0.1, seed);
     let edges = graph.num_edges();
-    let burst = burst_neighbor_lists(&graph, seed);
+    let burst = burst_update_batch(&graph, seed);
 
-    type Scenario =
-        fn(&CsrGraph, &[Vec<VertexId>], usize, u64, usize) -> (Vec<IterationStats>, f64);
+    type Scenario = fn(&CsrGraph, &UpdateBatch, usize, u64, usize) -> (Vec<IterationStats>, f64);
     let scenarios: [(&'static str, Scenario); 2] =
         [("powerlaw", run_powerlaw), ("forest-fire-burst", run_burst)];
 

@@ -42,6 +42,7 @@ pub mod partitioner;
 pub mod quota;
 pub mod runner;
 pub mod stats;
+pub mod streaming;
 
 pub use candidates::{DecisionKernel, MigrationDecision};
 pub use config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
@@ -49,3 +50,4 @@ pub use partitioner::{AdaptivePartitioner, IterationStats};
 pub use quota::QuotaTable;
 pub use runner::ConvergenceReport;
 pub use stats::{mean_and_sem, Summary};
+pub use streaming::{StreamingRunner, TimelineStats};

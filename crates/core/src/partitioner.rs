@@ -4,7 +4,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use apg_exec::{fanout, merge_in_order, stream_rng, ShardPlan};
-use apg_graph::{DynGraph, Graph, VertexId};
+use apg_graph::delta::DeltaTarget;
+use apg_graph::{ApplyReport, DynGraph, Graph, UpdateBatch, VertexId};
 use apg_partition::{
     cut_edges, initial::hash_vertex, CapacityModel, InitialStrategy, PartitionId, Partitioning,
 };
@@ -417,6 +418,21 @@ impl AdaptivePartitioner {
     }
 
     // ---- dynamic graph mutations -------------------------------------
+    //
+    // The canonical mutation path is [`AdaptivePartitioner::apply_batch`];
+    // the per-delta methods below are its building blocks and remain
+    // public for tests and fine-grained callers. Every path maintains the
+    // incremental cut, partition sizes, and degree mass.
+
+    /// Applies an [`UpdateBatch`] through the partitioner: the resulting
+    /// graph and [`ApplyReport`] are identical to [`UpdateBatch::apply`] on
+    /// a bare [`DynGraph`] (the application loop is literally shared, via
+    /// [`DeltaTarget`]), while the incremental accounting is maintained
+    /// across every delta and new vertices are placed by the configured
+    /// [`PlacementPolicy`].
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> ApplyReport {
+        batch.apply_to(self)
+    }
 
     /// Streams in a new vertex with the given neighbours, placing it
     /// according to the configured [`PlacementPolicy`]. Returns its id.
@@ -424,12 +440,18 @@ impl AdaptivePartitioner {
     /// Edges to tombstoned or unknown endpoints are ignored (the stream may
     /// race with removals, as in the paper's CDR scenario).
     pub fn add_vertex_with_edges(&mut self, neighbors: &[VertexId]) -> VertexId {
-        let v = self.graph.add_vertex();
-        let p = self.place_new_vertex(v);
-        self.partitioning.grow_to(v as usize + 1, p);
+        let v = self.insert_vertex();
         for &w in neighbors {
             self.add_edge(v, w);
         }
+        v
+    }
+
+    /// Adds an isolated vertex and places it; resets the quiet streak.
+    fn insert_vertex(&mut self) -> VertexId {
+        let v = self.graph.add_vertex();
+        let p = self.place_new_vertex(v);
+        self.partitioning.grow_to(v as usize + 1, p);
         self.quiet_streak = 0;
         v
     }
@@ -524,6 +546,32 @@ impl AdaptivePartitioner {
             "size accounting drifted"
         );
         assert_eq!(mass, self.degree_mass, "degree-mass accounting drifted");
+    }
+}
+
+/// The partitioner as a delta target: [`UpdateBatch::apply_to`]'s single
+/// shared application loop drives these hooks, so the partitioner's batch
+/// path cannot drift from a bare graph's.
+impl DeltaTarget for AdaptivePartitioner {
+    fn delta_add_vertex(&mut self) -> VertexId {
+        self.insert_vertex()
+    }
+
+    fn delta_add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.add_edge(u, v)
+    }
+
+    fn delta_remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.remove_edge(u, v)
+    }
+
+    fn delta_remove_vertex(&mut self, v: VertexId) -> Option<usize> {
+        if !self.graph.is_vertex(v) {
+            return None;
+        }
+        let degree = self.graph.degree(v);
+        self.remove_vertex(v);
+        Some(degree)
     }
 }
 

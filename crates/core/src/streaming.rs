@@ -1,0 +1,387 @@
+//! Streaming ingestion: batched graph updates interleaved with
+//! repartitioning rounds.
+//!
+//! This is the paper's operating loop made explicit: a stream of buffered
+//! [`UpdateBatch`]es lands on the graph, and between batches the adaptive
+//! heuristic iterates to absorb the change. [`StreamingRunner`] owns an
+//! [`AdaptivePartitioner`], pulls batches from any
+//! [`StreamSource`], applies them through the
+//! shared delta model (incremental cut maintained across every delta), runs
+//! a fixed per-batch iteration budget, and records one [`TimelineStats`]
+//! entry per batch.
+//!
+//! # Determinism
+//!
+//! Delta application and the quota merge are single-threaded and ordered;
+//! only the decision sweep fans out. For a fixed seed the timeline is
+//! therefore identical at every [`AdaptiveConfig::parallelism`] level —
+//! wall-clock aside, which is why [`TimelineStats`] equality deliberately
+//! ignores it.
+//!
+//! [`AdaptiveConfig::parallelism`]: crate::AdaptiveConfig::parallelism
+//!
+//! # Example
+//!
+//! ```
+//! use apg_core::{AdaptiveConfig, AdaptivePartitioner, StreamingRunner};
+//! use apg_graph::DynGraph;
+//! use apg_partition::InitialStrategy;
+//! use apg_streams::{CdrConfig, CdrStream};
+//!
+//! let config = CdrConfig { initial_subscribers: 500, ..CdrConfig::default() };
+//! let mut stream = CdrStream::new(config, 7);
+//! let graph = DynGraph::with_vertices(config.initial_subscribers);
+//! let partitioner = AdaptivePartitioner::with_strategy(
+//!     &graph,
+//!     InitialStrategy::Hash,
+//!     &AdaptiveConfig::new(4),
+//!     7,
+//! );
+//! let mut runner = StreamingRunner::new(partitioner).iterations_per_batch(3);
+//! let consumed = runner.drive(&mut stream, 10);
+//! assert_eq!(consumed, 10);
+//! assert_eq!(runner.timeline().len(), 10);
+//! ```
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use apg_graph::{ApplyReport, DeltaLog, UpdateBatch};
+use apg_streams::StreamSource;
+
+use crate::partitioner::AdaptivePartitioner;
+use crate::runner::ConvergenceReport;
+
+/// Per-batch observables of a streaming run.
+///
+/// Everything except `wall_ms` is a pure function of the seed, the stream,
+/// and the configuration — the determinism contract. `wall_ms` is a
+/// measurement of the host, so **equality ignores it**: two timelines
+/// compare equal iff every deterministic field matches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineStats {
+    /// Batch index within the run (0-based).
+    pub batch: usize,
+    /// Deltas the batch scheduled.
+    pub deltas: usize,
+    /// Vertices the batch added.
+    pub vertices_added: usize,
+    /// Vertices the batch removed.
+    pub vertices_removed: usize,
+    /// Edges the batch added.
+    pub edges_added: usize,
+    /// Edges the batch removed (vertex-removal casualties included).
+    pub edges_removed: usize,
+    /// Cut edges before the batch landed.
+    pub cut_before: usize,
+    /// Cut edges right after ingestion, before any repartitioning.
+    pub cut_after_ingest: usize,
+    /// Cut edges after this batch's repartitioning iterations.
+    pub cut_after: usize,
+    /// Vertices migrated by this batch's iterations.
+    pub migrations: usize,
+    /// Repartitioning iterations run for this batch.
+    pub iterations: usize,
+    /// Live vertices after the batch.
+    pub live_vertices: usize,
+    /// Edges after the batch.
+    pub num_edges: usize,
+    /// Wall-clock for ingest + iterations, milliseconds. Measurement, not
+    /// state: ignored by `==`.
+    pub wall_ms: f64,
+}
+
+impl TimelineStats {
+    /// Cut ratio after the batch's iterations (0 for edgeless graphs).
+    pub fn cut_ratio_after(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.cut_after as f64 / self.num_edges as f64
+        }
+    }
+
+    /// Cut ratio right after ingestion, before the batch's iterations (0
+    /// for edgeless graphs) — the spike the repartitioning rounds then
+    /// work off.
+    pub fn cut_ratio_after_ingest(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.cut_after_ingest as f64 / self.num_edges as f64
+        }
+    }
+
+    /// The deterministic fields, as a fixed-order array (fingerprinting,
+    /// equality, and test diagnostics all key off this).
+    pub fn deterministic_fields(&self) -> [usize; 13] {
+        [
+            self.batch,
+            self.deltas,
+            self.vertices_added,
+            self.vertices_removed,
+            self.edges_added,
+            self.edges_removed,
+            self.cut_before,
+            self.cut_after_ingest,
+            self.cut_after,
+            self.migrations,
+            self.iterations,
+            self.live_vertices,
+            self.num_edges,
+        ]
+    }
+}
+
+impl PartialEq for TimelineStats {
+    /// Deterministic fields only — `wall_ms` is measurement noise.
+    fn eq(&self, other: &Self) -> bool {
+        self.deterministic_fields() == other.deterministic_fields()
+    }
+}
+
+impl Eq for TimelineStats {}
+
+/// Drives batched ingestion through an [`AdaptivePartitioner`].
+///
+/// Construction is builder-style: wrap a partitioner, optionally set the
+/// per-batch iteration budget and delta recording, then feed batches with
+/// [`StreamingRunner::ingest`] or pull a whole stream with
+/// [`StreamingRunner::drive`].
+#[derive(Debug, Clone)]
+pub struct StreamingRunner {
+    partitioner: AdaptivePartitioner,
+    iterations_per_batch: usize,
+    record: bool,
+    log: DeltaLog,
+    timeline: Vec<TimelineStats>,
+}
+
+impl StreamingRunner {
+    /// Wraps a partitioner with the default budget of 5 iterations per
+    /// batch.
+    pub fn new(partitioner: AdaptivePartitioner) -> Self {
+        StreamingRunner {
+            partitioner,
+            iterations_per_batch: 5,
+            record: false,
+            log: DeltaLog::new(),
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Sets how many repartitioning iterations run after each batch
+    /// (0 = ingest only; useful when the caller owns the iteration
+    /// schedule).
+    pub fn iterations_per_batch(mut self, n: usize) -> Self {
+        self.iterations_per_batch = n;
+        self
+    }
+
+    /// Enables recording every ingested batch into a [`DeltaLog`], so the
+    /// run's exact mutation history can be replayed onto a fresh graph.
+    pub fn record_log(mut self, yes: bool) -> Self {
+        self.record = yes;
+        self
+    }
+
+    /// Applies one batch, runs the per-batch iteration budget, and records
+    /// + returns the batch's [`TimelineStats`].
+    pub fn ingest(&mut self, batch: &UpdateBatch) -> TimelineStats {
+        let cut_before = self.partitioner.cut_edges();
+        let start = Instant::now();
+        let report: ApplyReport = self.partitioner.apply_batch(batch);
+        let cut_after_ingest = self.partitioner.cut_edges();
+        let mut migrations = 0usize;
+        for _ in 0..self.iterations_per_batch {
+            migrations += self.partitioner.iterate().migrations;
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if self.record {
+            self.log.record(batch.clone());
+        }
+        use apg_graph::Graph;
+        let stats = TimelineStats {
+            batch: self.timeline.len(),
+            deltas: batch.len(),
+            vertices_added: report.new_vertices.len(),
+            vertices_removed: report.vertices_removed,
+            edges_added: report.edges_added,
+            edges_removed: report.edges_removed,
+            cut_before,
+            cut_after_ingest,
+            cut_after: self.partitioner.cut_edges(),
+            migrations,
+            iterations: self.iterations_per_batch,
+            live_vertices: self.partitioner.graph().num_live_vertices(),
+            num_edges: self.partitioner.graph().num_edges(),
+            wall_ms,
+        };
+        self.timeline.push(stats.clone());
+        stats
+    }
+
+    /// Pulls and ingests up to `max_batches` batches from `source`;
+    /// returns how many were consumed (fewer only if the stream ended).
+    pub fn drive<S: StreamSource>(&mut self, source: &mut S, max_batches: usize) -> usize {
+        for consumed in 0..max_batches {
+            match source.next_batch() {
+                Some(batch) => {
+                    self.ingest(&batch);
+                }
+                None => return consumed,
+            }
+        }
+        max_batches
+    }
+
+    /// Runs the partitioner to convergence on the current graph (e.g.
+    /// after the stream ends), returning the standard report.
+    pub fn run_to_convergence(&mut self) -> ConvergenceReport {
+        self.partitioner.run_to_convergence()
+    }
+
+    /// The per-batch timeline so far, oldest first.
+    pub fn timeline(&self) -> &[TimelineStats] {
+        &self.timeline
+    }
+
+    /// The recorded delta log (empty unless
+    /// [`StreamingRunner::record_log`] enabled recording).
+    pub fn log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// The wrapped partitioner.
+    pub fn partitioner(&self) -> &AdaptivePartitioner {
+        &self.partitioner
+    }
+
+    /// Mutable access to the wrapped partitioner (for interleaving manual
+    /// iterations or audits between batches).
+    pub fn partitioner_mut(&mut self) -> &mut AdaptivePartitioner {
+        &mut self.partitioner
+    }
+
+    /// Unwraps the partitioner, discarding the timeline and log.
+    pub fn into_partitioner(self) -> AdaptivePartitioner {
+        self.partitioner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AdaptiveConfig;
+    use apg_graph::{DynGraph, Graph};
+    use apg_partition::{cut_edges, InitialStrategy};
+    use apg_streams::{CdrConfig, CdrStream, TwitterConfig, TwitterStream};
+
+    fn runner(graph: &DynGraph, k: u16, parallelism: usize, seed: u64) -> StreamingRunner {
+        let cfg = AdaptiveConfig::new(k).parallelism(parallelism);
+        StreamingRunner::new(AdaptivePartitioner::with_strategy(
+            graph,
+            InitialStrategy::Hash,
+            &cfg,
+            seed,
+        ))
+        .iterations_per_batch(3)
+    }
+
+    #[test]
+    fn ingest_maintains_incremental_cut() {
+        let config = CdrConfig {
+            initial_subscribers: 800,
+            ..CdrConfig::default()
+        };
+        let mut stream = CdrStream::new(config, 3);
+        let graph = DynGraph::with_vertices(config.initial_subscribers);
+        let mut r = runner(&graph, 4, 1, 3);
+        for _ in 0..2 * config.batches_per_week {
+            let batch = apg_streams::StreamSource::next_batch(&mut stream).unwrap();
+            let stats = r.ingest(&batch);
+            assert_eq!(
+                r.partitioner().cut_edges(),
+                cut_edges(r.partitioner().graph(), r.partitioner().partitioning()),
+                "incremental cut drifted at batch {}",
+                stats.batch
+            );
+            r.partitioner().audit();
+        }
+        assert!(r.timeline().len() == 2 * config.batches_per_week);
+    }
+
+    #[test]
+    fn recorded_log_replays_to_identical_graph() {
+        let config = TwitterConfig {
+            initial_users: 300,
+            ..TwitterConfig::default()
+        };
+        let mut stream = TwitterStream::new(config, 5).with_clock(19.0, 900.0);
+        let base = DynGraph::with_vertices(config.initial_users);
+        let mut r = runner(&base, 3, 1, 5).record_log(true);
+        r.drive(&mut stream, 6);
+        assert_eq!(r.log().len(), 6);
+        let mut fresh = base.clone();
+        r.log().replay(&mut fresh);
+        assert_eq!(&fresh, r.partitioner().graph());
+    }
+
+    #[test]
+    fn timeline_is_parallelism_invariant() {
+        let run = |parallelism: usize| {
+            let config = CdrConfig {
+                initial_subscribers: 1500,
+                ..CdrConfig::default()
+            };
+            let mut stream = CdrStream::new(config, 11);
+            let graph = DynGraph::with_vertices(config.initial_subscribers);
+            let mut r = runner(&graph, 6, parallelism, 11);
+            r.drive(&mut stream, 10);
+            r.timeline().to_vec()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(4));
+        let migrations: usize = sequential.iter().map(|s| s.migrations).sum();
+        assert!(migrations > 0, "scenario too quiet to prove anything");
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let mk = |wall: f64| TimelineStats {
+            batch: 0,
+            deltas: 5,
+            vertices_added: 1,
+            vertices_removed: 0,
+            edges_added: 4,
+            edges_removed: 0,
+            cut_before: 10,
+            cut_after_ingest: 12,
+            cut_after: 8,
+            migrations: 3,
+            iterations: 5,
+            live_vertices: 100,
+            num_edges: 200,
+            wall_ms: wall,
+        };
+        assert_eq!(mk(1.0), mk(99.0));
+        let mut other = mk(1.0);
+        other.migrations = 4;
+        assert_ne!(mk(1.0), other);
+    }
+
+    #[test]
+    fn drive_stops_at_stream_end() {
+        let graph = DynGraph::from(&apg_graph::gen::mesh3d(6, 6, 6));
+        let cfg = apg_streams::ForestFireConfig::burst(20, 3);
+        let mut source = apg_streams::ForestFireSource::new(&graph, &cfg, 8);
+        let mut r = runner(&graph, 4, 1, 7);
+        let consumed = r.drive(&mut source, 100);
+        assert_eq!(consumed, 3); // ceil(20 / 8)
+        assert_eq!(
+            r.partitioner().graph().num_live_vertices(),
+            graph.num_live_vertices() + 20
+        );
+    }
+}

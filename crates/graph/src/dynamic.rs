@@ -30,7 +30,7 @@ use crate::types::{Graph, VertexId};
 /// assert_eq!(g.num_edges(), 0);
 /// assert!(!g.is_vertex(b));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DynGraph {
     adj: Vec<Vec<VertexId>>,
     alive: Vec<bool>,

@@ -6,6 +6,10 @@
 //!   static experiments (Figures 1, 4, 5, 6 of the paper).
 //! * [`DynGraph`] — a mutable adjacency-list graph supporting vertex/edge
 //!   insertion and removal, used for the dynamic experiments (Figures 7–9).
+//! * [`delta`] — the canonical mutation event model: [`GraphDelta`] events
+//!   grouped into [`UpdateBatch`]es with deterministic application and a
+//!   replayable [`DeltaLog`]; every mutation producer in the workspace
+//!   speaks this vocabulary.
 //! * [`gen`] — synthetic generators: 3-D finite-element meshes, 2-D
 //!   triangulated meshes, Holme–Kim power-law-cluster graphs, preferential
 //!   attachment, Erdős–Rényi, and the forest-fire expansion model the paper
@@ -29,11 +33,13 @@
 pub mod algo;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod dynamic;
 pub mod gen;
 pub mod io;
 pub mod types;
 
 pub use csr::CsrGraph;
+pub use delta::{ApplyReport, DeltaLog, GraphDelta, UpdateBatch};
 pub use dynamic::DynGraph;
 pub use types::{EdgeList, Graph, VertexId};

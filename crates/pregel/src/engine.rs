@@ -4,7 +4,8 @@
 use std::collections::HashSet;
 
 use apg_core::AdaptiveConfig;
-use apg_graph::{Graph, VertexId};
+use apg_graph::delta::DeltaTarget;
+use apg_graph::{Graph, UpdateBatch, VertexId};
 use apg_partition::{
     initial::hash_vertex, CapacityModel, InitialStrategy, PartitionId, Partitioning,
 };
@@ -16,7 +17,7 @@ use crate::mutation::MutationBatch;
 use crate::program::{Aggregates, Context, VertexProgram};
 use crate::worker::{VertexState, WorkerCounters, WorkerId, WorkerState};
 
-/// Builder for [`Engine`]; start from [`Engine::builder`].
+/// Builder for [`Engine`]; start from [`EngineBuilder::new`].
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
     k: WorkerId,
@@ -386,39 +387,23 @@ impl<P: VertexProgram> Engine<P> {
     /// Applies a mutation batch at the superstep boundary; returns the ids
     /// assigned to the batch's new vertices.
     ///
-    /// Additions are applied before removals; edges to endpoints that do
-    /// not exist (or died in this batch) are skipped.
+    /// Delegates to [`Engine::apply_batch`] — the engine speaks the shared
+    /// delta model directly.
     pub fn apply_mutations(&mut self, batch: MutationBatch) -> Vec<VertexId> {
-        let caps = self.capacities();
-        let mut new_ids = Vec::with_capacity(batch.new_vertices.len());
-        for neighbors in &batch.new_vertices {
-            let v = self.locations.len() as VertexId;
-            let w = self.place_vertex(v, &caps);
-            self.locations.push(w);
-            self.state_at.push(w);
-            self.logical_sizes[w as usize] += 1;
-            self.num_live += 1;
-            self.workers[w as usize]
-                .vertices
-                .insert(v, VertexState::new(Vec::new()));
-            new_ids.push(v);
-            for &n in neighbors {
-                self.add_edge_internal(v, n);
-            }
-        }
-        for &(a, b) in &batch.new_internal_edges {
-            self.add_edge_internal(new_ids[a], new_ids[b]);
-        }
-        for &(u, v) in &batch.add_edges {
-            self.add_edge_internal(u, v);
-        }
-        for &(u, v) in &batch.remove_edges {
-            self.remove_edge_internal(u, v);
-        }
-        for &v in &batch.remove_vertices {
-            self.remove_vertex_internal(v);
-        }
-        new_ids
+        self.apply_batch(batch.as_update_batch())
+    }
+
+    /// Applies an [`UpdateBatch`] at the superstep boundary — the canonical
+    /// ingestion path, sharing the literal application loop
+    /// ([`UpdateBatch::apply_to`]) with the logical-level
+    /// `AdaptivePartitioner::apply_batch` and bare-graph
+    /// [`UpdateBatch::apply`]. Returns the ids assigned to the batch's new
+    /// vertices.
+    ///
+    /// Deltas apply in scheduled order; edges to endpoints that do not
+    /// exist (or died earlier in this batch) are skipped.
+    pub fn apply_batch(&mut self, batch: &UpdateBatch) -> Vec<VertexId> {
+        batch.apply_to(self).new_vertices
     }
 
     // ---- observers -----------------------------------------------------
@@ -677,6 +662,45 @@ impl<P: VertexProgram> Engine<P> {
             ctrl.forget(v);
         }
         true
+    }
+}
+
+/// The engine as a delta target: [`UpdateBatch::apply_to`]'s single shared
+/// application loop drives these hooks, so the engine's mutation semantics
+/// cannot drift from a bare graph's or the logical-level partitioner's.
+/// New vertices are placed by hash-with-capacity-fallback against the
+/// engine's live population at the moment of insertion.
+impl<P: VertexProgram> DeltaTarget for Engine<P> {
+    fn delta_add_vertex(&mut self) -> VertexId {
+        let caps = self.capacities();
+        let v = self.locations.len() as VertexId;
+        let w = self.place_vertex(v, &caps);
+        self.locations.push(w);
+        self.state_at.push(w);
+        self.logical_sizes[w as usize] += 1;
+        self.num_live += 1;
+        self.workers[w as usize]
+            .vertices
+            .insert(v, VertexState::new(Vec::new()));
+        v
+    }
+
+    fn delta_add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.add_edge_internal(u, v)
+    }
+
+    fn delta_remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.remove_edge_internal(u, v)
+    }
+
+    fn delta_remove_vertex(&mut self, v: VertexId) -> Option<usize> {
+        if !self.is_live(v) {
+            return None;
+        }
+        let w = self.state_at[v as usize] as usize;
+        let degree = self.workers[w].vertices[&v].neighbors.len();
+        self.remove_vertex_internal(v);
+        Some(degree)
     }
 }
 

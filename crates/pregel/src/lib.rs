@@ -8,7 +8,9 @@
 //! departures from classic Pregel, both taken from the paper, are
 //! supported: computation can run continuously after the graph is loaded,
 //! and vertices/edges can be injected or removed from a stream between
-//! supersteps ([`MutationBatch`]).
+//! supersteps ([`MutationBatch`], a thin wrapper over the workspace-wide
+//! [`apg_graph::UpdateBatch`] delta model — any `StreamSource` batch feeds
+//! the engine directly via [`Engine::apply_batch`]).
 //!
 //! The implementation pitfalls of §3 are reproduced faithfully:
 //!

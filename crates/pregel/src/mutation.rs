@@ -1,26 +1,26 @@
 //! Graph mutations streamed into the running engine (paper §3: "vertices/
 //! edges can be injected/removed from the graph during the computation from
 //! a stream").
+//!
+//! [`MutationBatch`] is a thin wrapper over the workspace-wide
+//! [`UpdateBatch`] event model from `apg-graph`: the engine's superstep
+//! mutations and the logical-level path speak the same [`GraphDelta`]
+//! vocabulary, so the two realisations cannot drift. Anything that produces
+//! an `UpdateBatch` — a stream source, a recorded delta log — converts into
+//! a `MutationBatch` for free via `From`.
 
-use apg_graph::VertexId;
+use apg_graph::{GraphDelta, UpdateBatch, VertexId};
 
 /// A batch of graph changes applied atomically at a superstep boundary.
 ///
-/// Vertex additions receive their ids from the engine when the batch is
-/// applied; [`MutationBatch::add_vertex`] returns a *placeholder index* that
-/// can be used to wire batch-internal edges before ids exist.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Deltas apply **in the order they were scheduled** (the shared
+/// [`UpdateBatch`] contract). Vertex additions receive their ids from the
+/// engine when the batch is applied; [`MutationBatch::add_vertex`] returns
+/// a *placeholder index* that can be used to wire batch-internal edges
+/// before ids exist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MutationBatch {
-    /// Adjacency (to existing vertices) of each new vertex.
-    pub(crate) new_vertices: Vec<Vec<VertexId>>,
-    /// Edges between new vertices, as (placeholder, placeholder).
-    pub(crate) new_internal_edges: Vec<(usize, usize)>,
-    /// Edges between existing vertices.
-    pub(crate) add_edges: Vec<(VertexId, VertexId)>,
-    /// Edge removals.
-    pub(crate) remove_edges: Vec<(VertexId, VertexId)>,
-    /// Vertex removals (incident edges go too).
-    pub(crate) remove_vertices: Vec<VertexId>,
+    batch: UpdateBatch,
 }
 
 impl MutationBatch {
@@ -31,14 +31,13 @@ impl MutationBatch {
 
     /// Whether the batch changes nothing.
     pub fn is_empty(&self) -> bool {
-        self == &Self::default()
+        self.batch.is_empty()
     }
 
     /// Schedules a new vertex attached to `neighbors` (existing ids).
     /// Returns its placeholder index within this batch.
     pub fn add_vertex(&mut self, neighbors: Vec<VertexId>) -> usize {
-        self.new_vertices.push(neighbors);
-        self.new_vertices.len() - 1
+        self.batch.add_vertex(neighbors)
     }
 
     /// Connects two vertices added in *this* batch, by placeholder index.
@@ -47,43 +46,67 @@ impl MutationBatch {
     ///
     /// Panics if either placeholder is out of range.
     pub fn connect_new(&mut self, a: usize, b: usize) {
-        assert!(a < self.new_vertices.len() && b < self.new_vertices.len());
-        self.new_internal_edges.push((a, b));
+        self.batch.connect_new(a, b);
     }
 
     /// Schedules an edge between existing vertices.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
-        self.add_edges.push((u, v));
+        self.batch.add_edge(u, v);
     }
 
     /// Schedules an edge removal.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) {
-        self.remove_edges.push((u, v));
+        self.batch.remove_edge(u, v);
     }
 
     /// Schedules a vertex removal.
     pub fn remove_vertex(&mut self, v: VertexId) {
-        self.remove_vertices.push(v);
+        self.batch.remove_vertex(v);
     }
 
     /// Number of scheduled vertex additions.
     pub fn num_new_vertices(&self) -> usize {
-        self.new_vertices.len()
+        self.batch.num_new_vertices()
     }
 
-    /// Merges another batch after this one.
-    pub fn extend(&mut self, mut other: MutationBatch) {
-        let offset = self.new_vertices.len();
-        self.new_vertices.append(&mut other.new_vertices);
-        self.new_internal_edges.extend(
-            other
-                .new_internal_edges
-                .iter()
-                .map(|&(a, b)| (a + offset, b + offset)),
-        );
-        self.add_edges.append(&mut other.add_edges);
-        self.remove_edges.append(&mut other.remove_edges);
-        self.remove_vertices.append(&mut other.remove_vertices);
+    /// Merges another batch after this one, **in place**: the receiver's
+    /// delta buffer is extended (never cloned or rebuilt) and the appended
+    /// batch's placeholders are offset so its internal edges keep naming
+    /// the vertices they named before.
+    pub fn extend(&mut self, other: MutationBatch) {
+        self.batch.extend(other.batch);
+    }
+
+    /// The shared delta representation this batch wraps.
+    pub fn as_update_batch(&self) -> &UpdateBatch {
+        &self.batch
+    }
+
+    /// Unwraps into the shared delta representation.
+    pub fn into_update_batch(self) -> UpdateBatch {
+        self.batch
+    }
+}
+
+impl From<UpdateBatch> for MutationBatch {
+    fn from(batch: UpdateBatch) -> Self {
+        MutationBatch { batch }
+    }
+}
+
+impl From<MutationBatch> for UpdateBatch {
+    fn from(batch: MutationBatch) -> Self {
+        batch.batch
+    }
+}
+
+impl From<GraphDelta> for MutationBatch {
+    /// A single-delta batch (`ConnectNew` is batch-scoped and panics, as in
+    /// [`UpdateBatch::push`]).
+    fn from(delta: GraphDelta) -> Self {
+        MutationBatch {
+            batch: UpdateBatch::from(delta),
+        }
     }
 }
 
@@ -103,6 +126,7 @@ mod tests {
         b.remove_vertex(9);
         assert!(!b.is_empty());
         assert_eq!(b.num_new_vertices(), 2);
+        assert_eq!(b.as_update_batch().len(), 6);
     }
 
     #[test]
@@ -114,7 +138,11 @@ mod tests {
         let y = second.add_vertex(vec![]);
         second.connect_new(x, y);
         first.extend(second);
-        assert_eq!(first.new_internal_edges, vec![(1, 2)]);
+        assert_eq!(first.num_new_vertices(), 3);
+        assert_eq!(
+            first.as_update_batch().deltas().last(),
+            Some(&GraphDelta::ConnectNew { a: 1, b: 2 })
+        );
     }
 
     #[test]
@@ -122,5 +150,14 @@ mod tests {
     fn connect_new_validates() {
         let mut b = MutationBatch::new();
         b.connect_new(0, 1);
+    }
+
+    #[test]
+    fn round_trips_through_update_batch() {
+        let mut b = MutationBatch::new();
+        b.add_vertex(vec![0]);
+        b.remove_vertex(3);
+        let shared: UpdateBatch = b.clone().into_update_batch();
+        assert_eq!(MutationBatch::from(shared), b);
     }
 }

@@ -10,10 +10,22 @@
 //! but not power-law degree profile), and each week new subscribers join
 //! while stale ones leave.
 
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use apg_graph::{UpdateBatch, VertexId};
+
+use crate::source::StreamSource;
+
 /// Identifier of a subscriber within the generator (dense, never reused).
+///
+/// Subscriber ids are allocated densely from 0 and never reused — the same
+/// discipline [`apg_graph::DynGraph`] uses for vertex slots — so a
+/// subscriber's id *is* its vertex id in a graph that starts as
+/// `DynGraph::with_vertices(config.initial_subscribers)` and applies every
+/// emitted batch.
 pub type SubscriberId = usize;
 
 /// Configuration of the CDR stream.
@@ -71,6 +83,38 @@ impl WeekEvents {
     pub fn total_calls(&self) -> usize {
         self.batches.iter().map(|b| b.len()).sum()
     }
+
+    /// Re-expresses the week as [`UpdateBatch`]es, one per call batch:
+    /// subscribers who joined enter at the head of the first batch (they
+    /// can call immediately), call edges follow in batch order, and
+    /// week-end departures close the last batch. Duplicate calls become
+    /// rejected deltas at apply time — the graph keeps unique ties.
+    pub fn to_update_batches(&self) -> Vec<UpdateBatch> {
+        let mut out: Vec<UpdateBatch> = Vec::with_capacity(self.batches.len().max(1));
+        let mut first = UpdateBatch::new();
+        for _ in &self.joined {
+            first.add_vertex(Vec::new());
+        }
+        let mut calls = self.batches.iter();
+        if let Some(head) = calls.next() {
+            for &(a, b) in head {
+                first.add_edge(a as VertexId, b as VertexId);
+            }
+        }
+        out.push(first);
+        for batch in calls {
+            let mut ub = UpdateBatch::new();
+            for &(a, b) in batch {
+                ub.add_edge(a as VertexId, b as VertexId);
+            }
+            out.push(ub);
+        }
+        let last = out.last_mut().expect("at least one batch");
+        for &s in &self.departed {
+            last.remove_vertex(s as VertexId);
+        }
+        out
+    }
 }
 
 /// The stream generator. Call [`CdrStream::week`] once per simulated week.
@@ -102,6 +146,8 @@ pub struct CdrStream {
     last_active: Vec<u32>,
     num_live: usize,
     week: u32,
+    /// Update batches generated but not yet pulled via [`StreamSource`].
+    pending: VecDeque<UpdateBatch>,
 }
 
 impl CdrStream {
@@ -137,6 +183,7 @@ impl CdrStream {
             last_active: Vec::new(),
             num_live: 0,
             week: 0,
+            pending: VecDeque::new(),
         };
         for _ in 0..config.initial_subscribers {
             stream.spawn_subscriber();
@@ -286,6 +333,23 @@ impl CdrStream {
     }
 }
 
+/// The canonical ingestion view: one [`UpdateBatch`] per call batch
+/// ([`CdrConfig::batches_per_week`] of them per simulated week), with joins
+/// opening each week and departures closing it — see
+/// [`WeekEvents::to_update_batches`]. The stream is open-ended.
+///
+/// Don't interleave [`CdrStream::week`] with this: a directly pulled week
+/// never enters the batch queue.
+impl StreamSource for CdrStream {
+    fn next_batch(&mut self) -> Option<UpdateBatch> {
+        if self.pending.is_empty() {
+            let week = self.week();
+            self.pending.extend(week.to_update_batches());
+        }
+        self.pending.pop_front()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,5 +447,51 @@ mod tests {
         let mut a = CdrStream::new(small(), 7);
         let mut b = CdrStream::new(small(), 7);
         assert_eq!(a.week(), b.week());
+    }
+
+    #[test]
+    fn stream_source_matches_week_conversion() {
+        use apg_graph::{DynGraph, Graph};
+        let cfg = small();
+        let mut pulled = CdrStream::new(cfg, 9);
+        let mut weekly = CdrStream::new(cfg, 9);
+        let mut g_pulled = DynGraph::with_vertices(cfg.initial_subscribers);
+        let mut g_weekly = g_pulled.clone();
+        // Two weeks through the StreamSource interface...
+        for _ in 0..2 * cfg.batches_per_week {
+            pulled
+                .next_batch()
+                .expect("stream is open-ended")
+                .apply(&mut g_pulled);
+        }
+        // ...must build the same graph as two explicit week conversions.
+        for _ in 0..2 {
+            for batch in weekly.week().to_update_batches() {
+                batch.apply(&mut g_weekly);
+            }
+        }
+        assert_eq!(g_pulled, g_weekly);
+        assert_eq!(pulled.num_live(), weekly.num_live());
+        // Churn actually reached the graph: population grew net ~+4%/week.
+        assert!(g_pulled.num_live_vertices() > cfg.initial_subscribers);
+    }
+
+    #[test]
+    fn update_batches_order_joins_first_departures_last() {
+        let mut s = CdrStream::new(small(), 12);
+        s.week(); // prime inactivity so week 2 has departures
+        let week = s.week();
+        assert!(!week.departed.is_empty(), "need departures for this test");
+        let batches = week.to_update_batches();
+        assert_eq!(batches.len(), week.batches.len());
+        assert_eq!(batches[0].num_new_vertices(), week.joined.len());
+        assert_eq!(
+            batches.last().unwrap().num_vertex_removals(),
+            week.departed.len()
+        );
+        // No removals anywhere but the tail batch.
+        for b in &batches[..batches.len() - 1] {
+            assert_eq!(b.num_vertex_removals(), 0);
+        }
     }
 }

@@ -1,10 +1,12 @@
 //! Dynamic graph workload generators for the paper's three real-world use
-//! cases (§4.3).
+//! cases (§4.3), unified behind the [`StreamSource`] abstraction.
 //!
 //! The paper feeds its system from live sources we cannot reach — the
 //! Twitter Streaming API and a European mobile operator's call-detail
 //! records. Each generator here synthesises a stream with the properties
-//! the paper reports about its source:
+//! the paper reports about its source, and every one of them emits the
+//! canonical [`UpdateBatch`](apg_graph::UpdateBatch) event model from
+//! `apg-graph`:
 //!
 //! * [`TwitterStream`] — a diurnal tweet-rate profile (the London-day curve
 //!   of Figure 8, double peak, overnight trough), mention edges following
@@ -12,15 +14,23 @@
 //! * [`CdrStream`] — community-structured call graph with the paper's
 //!   measured churn: ~8% weekly additions, ~4% weekly deletions, entities
 //!   removed after a week of inactivity.
-//! * [`forest_fire_burst`] — the instantaneous +10% forest-fire expansion
-//!   of the biomedical experiment (Figure 7b), re-exported from
-//!   `apg-graph` with the Figure-7 defaults.
+//! * [`ForestFireSource`] / [`forest_fire_delta`] — the instantaneous +10%
+//!   forest-fire expansion of the biomedical experiment (Figure 7b),
+//!   expressed as update batches.
+//! * [`PowerLawGrowth`] — open-ended preferential-attachment growth.
+//!
+//! Consumers pull batches with [`StreamSource::next_batch`] and apply them
+//! to a [`DynGraph`] (or hand them to `apg_core`'s `StreamingRunner` /
+//! `apg_pregel`'s engine), so every workload reaches the graph through one
+//! ingestion path.
 
 pub mod cdr;
+pub mod source;
 pub mod twitter;
 
 pub use apg_graph::gen::{forest_fire, ForestFireConfig};
 pub use cdr::{CdrConfig, CdrStream, WeekEvents};
+pub use source::{forest_fire_delta, ForestFireSource, PowerLawGrowth, StreamSource};
 pub use twitter::{MentionBatch, TwitterConfig, TwitterStream};
 
 use apg_graph::DynGraph;
@@ -29,11 +39,17 @@ use apg_graph::VertexId;
 /// Injects the paper's Figure 7b burst into `graph`: 10% new vertices with
 /// ~3 edges each (the paper's 10 M vertices / 30 M edges at 100 M scale).
 ///
+/// The burst is computed as an [`apg_graph::UpdateBatch`] (see
+/// [`forest_fire_delta`]) and applied through the shared delta model; use
+/// `forest_fire_delta` directly to route the same expansion into an engine
+/// or a recorded log instead of mutating in place.
+///
 /// Returns the new vertex ids.
 pub fn forest_fire_burst(graph: &mut DynGraph, seed: u64) -> Vec<VertexId> {
     use apg_graph::Graph;
     let burst = graph.num_live_vertices() / 10;
-    forest_fire(graph, &ForestFireConfig::burst(burst, seed))
+    let batch = forest_fire_delta(graph, &ForestFireConfig::burst(burst, seed));
+    batch.apply(graph).new_vertices
 }
 
 #[cfg(test)]

@@ -10,6 +10,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use apg_graph::{UpdateBatch, VertexId};
+
+use crate::source::StreamSource;
+
 /// Configuration of the synthetic stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwitterConfig {
@@ -62,6 +66,22 @@ impl MentionBatch {
     pub fn tweets_per_sec(&self, seconds: f64) -> f64 {
         self.tweets as f64 / seconds
     }
+
+    /// Re-expresses the window as an [`UpdateBatch`] against a graph that
+    /// currently holds `known_users` vertex slots: users beyond that count
+    /// become vertex additions (ids align because both sides allocate
+    /// densely), every mention becomes an edge addition. Repeat mentions
+    /// are rejected at apply time — the graph keeps unique mention ties.
+    pub fn to_update_batch(&self, known_users: usize) -> UpdateBatch {
+        let mut batch = UpdateBatch::new();
+        for _ in known_users..self.num_users {
+            batch.add_vertex(Vec::new());
+        }
+        for &(a, b) in &self.edges {
+            batch.add_edge(a as VertexId, b as VertexId);
+        }
+        batch
+    }
 }
 
 /// Generator of diurnal mention traffic.
@@ -88,6 +108,12 @@ pub struct TwitterStream {
     /// Members of each community.
     members: Vec<Vec<usize>>,
     num_users: usize,
+    /// Simulated clock for the [`StreamSource`] view, in hours.
+    clock_hour: f64,
+    /// Window length for the [`StreamSource`] view, in seconds.
+    window_secs: f64,
+    /// Users already emitted as vertices through the [`StreamSource`] view.
+    emitted_users: usize,
 }
 
 impl TwitterStream {
@@ -118,6 +144,9 @@ impl TwitterStream {
             community: Vec::new(),
             members: Vec::new(),
             num_users: 0,
+            clock_hour: 0.0,
+            window_secs: 600.0,
+            emitted_users: config.initial_users,
         };
         for _ in 0..config.initial_users {
             stream.spawn_user();
@@ -168,6 +197,27 @@ impl TwitterStream {
     /// Users known so far.
     pub fn num_users(&self) -> usize {
         self.num_users
+    }
+
+    /// Positions the [`StreamSource`] clock: batches pulled via
+    /// [`StreamSource::next_batch`] start at `start_hour` and each cover
+    /// `window_secs` of simulated time (default: midnight, 10-minute
+    /// windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is not positive.
+    pub fn with_clock(mut self, start_hour: f64, window_secs: f64) -> Self {
+        assert!(window_secs > 0.0, "window must have positive length");
+        self.clock_hour = start_hour;
+        self.window_secs = window_secs;
+        self
+    }
+
+    /// The [`StreamSource`] clock's current hour (wraps daily inside the
+    /// rate profile, counts up monotonically here).
+    pub fn clock_hour(&self) -> f64 {
+        self.clock_hour
     }
 
     /// Generates the traffic of a window of `seconds` starting at `hour`.
@@ -236,6 +286,25 @@ impl TwitterStream {
         }
         let peers = &self.members[c];
         peers[self.rng.gen_range(0..peers.len())]
+    }
+}
+
+/// The canonical ingestion view: each pull generates one window at the
+/// internal clock (see [`TwitterStream::with_clock`]), advances the clock,
+/// and re-expresses the window's growth and mentions as deltas. The stream
+/// is open-ended.
+///
+/// Don't interleave direct [`TwitterStream::window`] calls with this:
+/// users spawned by a direct window would be emitted as vertex additions
+/// on the *next* pull, but its mention edges would be lost.
+impl StreamSource for TwitterStream {
+    fn next_batch(&mut self) -> Option<UpdateBatch> {
+        let hour = self.clock_hour;
+        let window = self.window(hour, self.window_secs);
+        self.clock_hour = hour + self.window_secs / 3600.0;
+        let batch = window.to_update_batch(self.emitted_users);
+        self.emitted_users = window.num_users;
+        Some(batch)
     }
 }
 
@@ -309,5 +378,35 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn stream_source_tracks_population_growth() {
+        use apg_graph::{DynGraph, Graph};
+        let config = TwitterConfig::default();
+        let mut s = TwitterStream::new(config, 13).with_clock(18.0, 1800.0);
+        let mut g = DynGraph::with_vertices(config.initial_users);
+        for _ in 0..8 {
+            let batch = s.next_batch().expect("stream is open-ended");
+            let report = batch.apply(&mut g);
+            // Every scheduled edge lands or is a repeat mention; nothing
+            // can reference an unknown user if ids stay aligned.
+            assert_eq!(
+                report.edges_added + report.rejected,
+                batch.num_edge_additions()
+            );
+        }
+        assert_eq!(g.num_vertices(), s.num_users(), "id spaces drifted");
+        assert!((s.clock_hour() - 22.0).abs() < 1e-9);
+        assert!(g.num_edges() > 0);
+    }
+
+    #[test]
+    fn stream_source_is_deterministic_per_seed() {
+        let pull = |seed: u64| {
+            let mut s = TwitterStream::new(TwitterConfig::default(), seed).with_clock(9.0, 900.0);
+            (0..4).map(|_| s.next_batch().unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(pull(3), pull(3));
     }
 }

@@ -11,11 +11,11 @@ use apg::apps::HeartSim;
 use apg::core::AdaptiveConfig;
 use apg::graph::{gen, DynGraph, Graph};
 use apg::pregel::{CostModel, EngineBuilder, MutationBatch};
-use apg::streams::forest_fire_burst;
+use apg::streams::{forest_fire_delta, ForestFireConfig};
 
 fn main() {
     let mesh = gen::mesh3d(16, 16, 16);
-    let mut shadow = DynGraph::from(&mesh);
+    let shadow = DynGraph::from(&mesh);
     println!(
         "heart mesh: {} cells, {} gap junctions",
         mesh.num_vertices(),
@@ -46,27 +46,12 @@ fn main() {
     }
 
     println!("\nphase (b): +10% forest-fire burst");
-    let before_slots = shadow.num_vertices();
-    let new_ids = forest_fire_burst(&mut shadow, 99);
-    let mut batch = MutationBatch::new();
-    for (i, &v) in new_ids.iter().enumerate() {
-        let existing: Vec<u32> = shadow
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&w| (w as usize) < before_slots)
-            .collect();
-        let ph = batch.add_vertex(existing);
-        assert_eq!(ph, i);
-    }
-    for (i, &v) in new_ids.iter().enumerate() {
-        for &w in shadow.neighbors(v) {
-            if (w as usize) >= before_slots && w > v {
-                batch.connect_new(i, (w as usize) - before_slots);
-            }
-        }
-    }
-    engine.apply_mutations(batch);
+    // The burst is computed as an UpdateBatch against a shadow copy and
+    // fed to the engine through the shared delta model — ids align because
+    // engine and shadow allocate slots identically.
+    let burst = shadow.num_live_vertices() / 10;
+    let batch = forest_fire_delta(&shadow, &ForestFireConfig::burst(burst, 99));
+    let new_ids = engine.apply_mutations(MutationBatch::from(batch));
     println!(
         "injected {} new cells; graph now {} vertices / {} edges",
         new_ids.len(),

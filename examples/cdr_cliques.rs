@@ -2,6 +2,12 @@
 //! cliques over a fortnight of call-detail records with weekly churn, on
 //! adaptive vs static clusters.
 //!
+//! Ingestion goes through the canonical path: the CDR generator is a
+//! `StreamSource` emitting one `UpdateBatch` per buffered call batch
+//! (joiners open each week, departures close it), and both engines consume
+//! the same batches via `MutationBatch::from` — no hand-rolled mutation
+//! loops.
+//!
 //! ```text
 //! cargo run --release --example cdr_cliques
 //! ```
@@ -10,7 +16,7 @@ use apg::apps::{maxclique::global_max_clique, MaxClique};
 use apg::core::AdaptiveConfig;
 use apg::graph::DynGraph;
 use apg::pregel::{CostModel, Engine, EngineBuilder, MutationBatch};
-use apg::streams::{CdrConfig, CdrStream};
+use apg::streams::{CdrConfig, CdrStream, StreamSource};
 
 fn clique_round(engine: &mut Engine<MaxClique>) -> f64 {
     engine.wake_all();
@@ -38,40 +44,25 @@ fn main() {
         .build(&initial, MaxClique::new());
 
     for week in 1..=2 {
-        let events = stream.week();
-        let mut joiners = MutationBatch::new();
-        for _ in &events.joined {
-            joiners.add_vertex(Vec::new());
-        }
-        dynamic.apply_mutations(joiners.clone());
-        fixed.apply_mutations(joiners);
-
+        let (mut joined, mut departed, mut calls) = (0usize, 0usize, 0usize);
         let mut dyn_time = 0.0;
         let mut fix_time = 0.0;
-        for batch in &events.batches {
-            let mut m = MutationBatch::new();
-            for &(a, b) in batch {
-                m.add_edge(a as u32, b as u32);
-            }
-            dynamic.apply_mutations(m.clone());
-            fixed.apply_mutations(m);
+        // One pull per buffered call batch; topology freezes during each
+        // clique round (the paper's batching discipline).
+        for _ in 0..config.batches_per_week {
+            let batch = stream.next_batch().expect("CDR stream is open-ended");
+            joined += batch.num_new_vertices();
+            departed += batch.num_vertex_removals();
+            calls += batch.num_edge_additions();
+
+            let mutation = MutationBatch::from(batch);
+            dynamic.apply_mutations(mutation.clone());
+            fixed.apply_mutations(mutation);
             dyn_time += clique_round(&mut dynamic);
             fix_time += clique_round(&mut fixed);
         }
 
-        let mut leavers = MutationBatch::new();
-        for &s in &events.departed {
-            leavers.remove_vertex(s as u32);
-        }
-        dynamic.apply_mutations(leavers.clone());
-        fixed.apply_mutations(leavers);
-
-        println!(
-            "week {week}: +{} subscribers, -{} departed, {} calls",
-            events.joined.len(),
-            events.departed.len(),
-            events.total_calls()
-        );
+        println!("week {week}: +{joined} subscribers, -{departed} departed, {calls} calls");
         println!(
             "  cut ratio  dynamic {:.3} vs static {:.3}",
             dynamic.cut_ratio(),

@@ -3,22 +3,30 @@
 //! the background adaptive partitioner, one static hash — for six simulated
 //! hours of a London day.
 //!
+//! Ingestion goes through the canonical path: the Twitter generator is a
+//! `StreamSource` emitting `UpdateBatch`es, each batch feeds both Pregel
+//! engines (via `MutationBatch::from`) *and* a logical-level
+//! `StreamingRunner`, whose per-batch `TimelineStats` show the cut being
+//! absorbed as the stream lands.
+//!
 //! ```text
 //! cargo run --release --example social_stream
 //! ```
 
 use apg::apps::TunkRank;
-use apg::core::AdaptiveConfig;
+use apg::core::{AdaptiveConfig, AdaptivePartitioner, StreamingRunner};
 use apg::graph::DynGraph;
+use apg::partition::InitialStrategy;
 use apg::pregel::{CostModel, EngineBuilder, MutationBatch};
-use apg::streams::{TwitterConfig, TwitterStream};
+use apg::streams::{StreamSource, TwitterConfig, TwitterStream};
 
 fn main() {
     let config = TwitterConfig {
         initial_users: 1200,
         ..TwitterConfig::default()
     };
-    let mut stream = TwitterStream::new(config, 7);
+    // 30-minute windows through the evening ramp-up, pulled as batches.
+    let mut stream = TwitterStream::new(config, 7).with_clock(17.0, 1800.0);
 
     let initial = DynGraph::with_vertices(config.initial_users);
     let program = TunkRank::new(usize::MAX); // runs continuously
@@ -33,24 +41,27 @@ fn main() {
         .cost_model(CostModel::lan_10gbe())
         .cut_every(0)
         .build(&initial, program);
+    let mut runner = StreamingRunner::new(AdaptivePartitioner::with_strategy(
+        &initial,
+        InitialStrategy::Hash,
+        &AdaptiveConfig::new(9),
+        7,
+    ))
+    .iterations_per_batch(3);
 
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>9}",
-        "hour", "tweets/s", "hash t", "adaptive t", "speedup"
+        "{:>6} {:>8} {:>16} {:>11} {:>10} {:>10} {:>9}",
+        "hour", "deltas", "cut in->out", "migrations", "hash t", "adapt t", "speedup"
     );
-    for window in 0..12 {
-        let hour = 17.0 + window as f64 * 0.5; // evening ramp-up
-        let batch = stream.window(hour, 1800.0);
+    for _ in 0..12 {
+        let hour = stream.clock_hour();
+        let batch = stream.next_batch().expect("stream is open-ended");
 
-        let mut mutation = MutationBatch::new();
-        for _ in adaptive.num_total_slots()..batch.num_users {
-            mutation.add_vertex(Vec::new());
-        }
-        for &(a, b) in &batch.edges {
-            mutation.add_edge(a as u32, b as u32);
-        }
+        // One batch, three consumers — same deltas everywhere.
+        let mutation = MutationBatch::from(batch.clone());
         adaptive.apply_mutations(mutation.clone());
         hash.apply_mutations(mutation);
+        let timeline = runner.ingest(&batch);
 
         let ra = adaptive.run(3);
         let rh = hash.run(3);
@@ -59,9 +70,12 @@ fn main() {
         };
         let (ta, th) = (mean(&ra), mean(&rh));
         println!(
-            "{:>6.1} {:>10.1} {:>12.0} {:>12.0} {:>8.2}x",
+            "{:>6.1} {:>8} {:>8.3} ->{:>5.3} {:>11} {:>10.0} {:>10.0} {:>8.2}x",
             hour,
-            batch.tweets as f64 / 1800.0,
+            timeline.deltas,
+            timeline.cut_ratio_after_ingest(),
+            timeline.cut_ratio_after(),
+            timeline.migrations,
             th,
             ta,
             th / ta
@@ -75,8 +89,9 @@ fn main() {
         .expect("graph is non-empty");
     println!("most influential user: #{best} (influence {score:.2})");
     println!(
-        "final cut ratio: adaptive {:.3} vs hash {:.3}",
+        "final cut ratio: adaptive {:.3} vs hash {:.3} (logical runner {:.3})",
         adaptive.cut_ratio(),
-        hash.cut_ratio()
+        hash.cut_ratio(),
+        runner.partitioner().cut_ratio()
     );
 }

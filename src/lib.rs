@@ -24,7 +24,7 @@
 //!   cardiac-FEM kernel.
 //! * [`streams`] — dynamic workloads: Twitter mention stream, CDR churn,
 //!   forest-fire bursts.
-//! * [`bench`] — the experiment drivers behind the `fig1`…`fig9`, `table1`,
+//! * [`mod@bench`] — the experiment drivers behind the `fig1`…`fig9`, `table1`,
 //!   `ablation` and `all` binaries regenerating the paper's evaluation.
 //!
 //! # Quickstart
@@ -54,8 +54,13 @@ pub use apg_streams as streams;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use apg_core::{AdaptiveConfig, AdaptivePartitioner, ConvergenceReport};
-    pub use apg_graph::{CsrGraph, DynGraph, Graph, VertexId};
+    pub use apg_core::{
+        AdaptiveConfig, AdaptivePartitioner, ConvergenceReport, StreamingRunner, TimelineStats,
+    };
+    pub use apg_graph::{
+        ApplyReport, CsrGraph, DeltaLog, DynGraph, Graph, GraphDelta, UpdateBatch, VertexId,
+    };
     pub use apg_partition::{cut_edges, cut_ratio, InitialStrategy, PartitionId, Partitioning};
     pub use apg_pregel::{Context, CostModel, Engine, EngineBuilder, MutationBatch, VertexProgram};
+    pub use apg_streams::StreamSource;
 }

@@ -3,9 +3,43 @@
 
 use proptest::prelude::*;
 
-use apg::core::{AdaptiveConfig, AdaptivePartitioner, QuotaRule};
-use apg::graph::{gen, CsrGraph, DynGraph, Graph};
+use apg::core::{AdaptiveConfig, AdaptivePartitioner, QuotaRule, StreamingRunner};
+use apg::graph::{gen, CsrGraph, DeltaLog, DynGraph, Graph, UpdateBatch};
 use apg::partition::{cut_edges, CapacityModel, InitialStrategy, Partitioning};
+
+/// Turns a fuzzed op-stream into `UpdateBatch`es of at most `chunk` deltas,
+/// tracking the slot count a consumer graph would have so generated ids
+/// stay in a meaningful range (dangling ids are still legal — they reject).
+fn batches_from_ops(ops: &[(u8, u32, u32)], base_slots: usize, chunk: usize) -> Vec<UpdateBatch> {
+    let mut out = Vec::new();
+    let mut batch = UpdateBatch::new();
+    let mut slots = base_slots;
+    for &(op, a, b) in ops {
+        let range = (slots + batch.num_new_vertices()).max(1) as u32;
+        match op {
+            0 => {
+                batch.add_vertex(vec![a % range]);
+            }
+            1 => batch.add_edge(a % range, b % range),
+            2 => batch.remove_edge(a % range, b % range),
+            3 => batch.remove_vertex(a % range),
+            _ => {
+                let n = batch.num_new_vertices();
+                if n >= 2 {
+                    batch.connect_new(a as usize % n, b as usize % n);
+                }
+            }
+        }
+        if batch.len() >= chunk {
+            slots += batch.num_new_vertices();
+            out.push(std::mem::take(&mut batch));
+        }
+    }
+    if !batch.is_empty() {
+        out.push(batch);
+    }
+    out
+}
 
 /// Random simple graph as an edge list over `n` vertices.
 fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
@@ -162,6 +196,59 @@ proptest! {
             arcs += nbrs.len();
         }
         prop_assert_eq!(arcs, 2 * g.num_edges());
+    }
+
+    /// Replaying a recorded delta log onto a fresh graph with the same
+    /// initial population reproduces an identical graph — the delta
+    /// model's replay contract.
+    #[test]
+    fn delta_log_replay_reproduces_graph(
+        ops in proptest::collection::vec((0u8..5, 0u32..40, 0u32..40), 1..150),
+        base in 2usize..12,
+    ) {
+        let mut live = DynGraph::with_vertices(base);
+        let mut log = DeltaLog::new();
+        for batch in batches_from_ops(&ops, base, 13) {
+            batch.apply(&mut live);
+            log.record(batch);
+        }
+        let mut fresh = DynGraph::with_vertices(base);
+        let replay_report = log.replay(&mut fresh);
+        prop_assert_eq!(&fresh, &live, "replayed graph diverged");
+        prop_assert_eq!(replay_report.new_vertices.len() + base, live.num_vertices());
+    }
+
+    /// The partitioner's `apply_batch` is the same function as
+    /// `UpdateBatch::apply` on a bare graph (identical graph and report),
+    /// and the incrementally-maintained cut equals a `cut_edges` recount
+    /// after every batch of a streaming run.
+    #[test]
+    fn streaming_ingestion_keeps_cut_exact(
+        ops in proptest::collection::vec((0u8..5, 0u32..60, 0u32..60), 1..100),
+        seed in 0u64..300,
+    ) {
+        let g = gen::mesh3d(3, 3, 3);
+        let cfg = AdaptiveConfig::new(3);
+        let mut runner = StreamingRunner::new(
+            AdaptivePartitioner::with_strategy(&g, InitialStrategy::Random, &cfg, seed),
+        )
+        .iterations_per_batch(1);
+        let mut plain = DynGraph::from(&g);
+        for batch in batches_from_ops(&ops, plain.num_vertices(), 9) {
+            let plain_report = batch.apply(&mut plain);
+            let stats = runner.ingest(&batch);
+            prop_assert_eq!(stats.vertices_added, plain_report.new_vertices.len());
+            prop_assert_eq!(stats.vertices_removed, plain_report.vertices_removed);
+            prop_assert_eq!(stats.edges_added, plain_report.edges_added);
+            prop_assert_eq!(stats.edges_removed, plain_report.edges_removed);
+            prop_assert_eq!(runner.partitioner().graph(), &plain, "mutation paths drifted");
+            prop_assert_eq!(
+                runner.partitioner().cut_edges(),
+                cut_edges(runner.partitioner().graph(), runner.partitioner().partitioning()),
+                "incremental cut drifted from recount"
+            );
+            runner.partitioner().audit();
+        }
     }
 
     /// Cut ratio is invariant under partition relabelling.
