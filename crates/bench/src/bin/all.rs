@@ -49,4 +49,7 @@ fn main() {
 
     banner("Streaming ingestion");
     streaming::print(&streaming::run(args.scale, args.reps(), args.seed));
+
+    banner("Checkpoint overhead");
+    persist::print(&persist::run(args.scale, args.reps(), args.seed));
 }

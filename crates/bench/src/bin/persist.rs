@@ -1,0 +1,22 @@
+//! Checkpoint-overhead benchmark: the CDR stream driven at several
+//! snapshot cadences through the `apg-persist` checkpoint/compact/resume
+//! loop; writes `BENCH_persist.json`.
+
+use apg_bench::experiments::persist;
+use apg_bench::scale::RunArgs;
+
+fn main() {
+    let args = RunArgs::from_env();
+    let result = persist::run(args.scale, args.reps(), args.seed);
+    persist::print(&result);
+    assert!(
+        result.all_resumes_match(),
+        "a resumed checkpoint diverged from its live runner"
+    );
+
+    let path = "BENCH_persist.json";
+    match std::fs::write(path, persist::to_json(&result)) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod persist;
 pub mod scaling;
 pub mod streaming;
 pub mod table1;

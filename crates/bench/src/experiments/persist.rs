@@ -1,0 +1,326 @@
+//! Checkpoint-overhead sweep: what durable state costs on the streaming
+//! hot path.
+//!
+//! Not a figure from the paper: it prices the `apg-persist` layer. A CDR
+//! churn stream (the heaviest mutation mix: joins, calls, departures) is
+//! driven through the [`StreamingRunner`] at several checkpoint cadences —
+//! from "never" to "every batch" — taking a fresh snapshot from the live
+//! runner at each cadence (which empties the write-ahead tail), exactly
+//! the operating loop the README walkthrough documents. Reported per
+//! cadence: ingest wall-clock (overhead vs the
+//! no-checkpoint baseline), serialised checkpoint size, encode / decode /
+//! resume costs, and a resume-equivalence check (the decoded checkpoint's
+//! resumed timeline must equal the live runner's).
+//!
+//! The `persist` binary prints the table and writes `BENCH_persist.json`.
+
+use std::time::Instant;
+
+use apg_core::persist::StreamCheckpoint;
+use apg_core::{AdaptiveConfig, AdaptivePartitioner, StreamingRunner};
+use apg_graph::DynGraph;
+use apg_partition::InitialStrategy;
+use apg_streams::{CdrConfig, CdrStream, StreamSource};
+
+use super::scaling::WallStats;
+use super::streaming::cdr_subscribers;
+use crate::Scale;
+
+/// Partitions (k) used throughout.
+const K: u16 = 8;
+
+/// Repartitioning iterations per ingested batch.
+const ITERS_PER_BATCH: usize = 4;
+
+/// One cadence measurement.
+#[derive(Debug, Clone)]
+pub struct PersistRow {
+    /// Batches between snapshots (`None` = checkpointing disabled).
+    pub snapshot_every: Option<usize>,
+    /// Batches ingested.
+    pub batches: usize,
+    /// Snapshots taken (each a fresh checkpoint off the live runner,
+    /// emptying the write-ahead tail).
+    pub snapshots: usize,
+    /// Wall-clock for the full run, ingest + checkpointing, over reps.
+    pub wall_ms: WallStats,
+    /// Overhead over the no-checkpoint baseline, percent of baseline mean.
+    pub overhead_pct: f64,
+    /// Serialised size of the final checkpoint, bytes.
+    pub checkpoint_bytes: usize,
+    /// Tail segments left in the final checkpoint.
+    pub tail_batches: usize,
+    /// Encoding the final checkpoint, milliseconds.
+    pub encode_ms: f64,
+    /// Decoding it back, milliseconds.
+    pub decode_ms: f64,
+    /// Resuming a runner from it (tail replay included), milliseconds.
+    pub resume_ms: f64,
+    /// Whether the resumed runner's timeline equals the live one's.
+    pub resume_matches: bool,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone)]
+pub struct PersistResult {
+    /// Repetitions per row.
+    pub reps: usize,
+    /// Subscribers at stream start.
+    pub subscribers: usize,
+    /// Batches ingested per run.
+    pub batches: usize,
+    /// One row per checkpoint cadence.
+    pub rows: Vec<PersistRow>,
+}
+
+impl PersistResult {
+    /// Whether every cadence's resumed runner matched the live runner.
+    pub fn all_resumes_match(&self) -> bool {
+        self.rows.iter().all(|r| r.resume_matches)
+    }
+}
+
+fn batches_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Quick => 28,
+        Scale::Paper => 56,
+    }
+}
+
+/// Drives the stream with the given cadence; returns the wall time and the
+/// final checkpoint (when checkpointing is on).
+fn run_once(
+    subscribers: usize,
+    batches: usize,
+    snapshot_every: Option<usize>,
+    seed: u64,
+) -> (f64, Option<StreamCheckpoint>, StreamingRunner) {
+    let config = CdrConfig {
+        initial_subscribers: subscribers,
+        ..CdrConfig::default()
+    };
+    let graph = DynGraph::with_vertices(subscribers);
+    let cfg = AdaptiveConfig::new(K);
+    let partitioner = AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &cfg, seed);
+    let mut runner = StreamingRunner::new(partitioner).iterations_per_batch(ITERS_PER_BATCH);
+    let mut source = CdrStream::new(config, seed);
+
+    let start = Instant::now();
+    let mut ckpt = snapshot_every.map(|_| runner.checkpoint());
+    for i in 0..batches {
+        let batch = source.next_batch().expect("CDR stream is open-ended");
+        runner.ingest(&batch);
+        if let (Some(ckpt), Some(every)) = (&mut ckpt, snapshot_every) {
+            ckpt.append(batch);
+            if (i + 1) % every == 0 {
+                // With the live runner in hand, a fresh snapshot is a
+                // straight state clone; `compact` (which re-executes the
+                // tail's partitioner work) is for when only the checkpoint
+                // bytes survive.
+                *ckpt = runner.checkpoint();
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, ckpt, runner)
+}
+
+/// Runs the cadence sweep.
+pub fn run(scale: Scale, reps: usize, seed: u64) -> PersistResult {
+    let subscribers = cdr_subscribers(scale);
+    let batches = batches_for(scale);
+    let reps = reps.max(1);
+    let cadences: [Option<usize>; 4] = [None, Some(8), Some(4), Some(1)];
+
+    let mut rows = Vec::new();
+    let mut baseline_mean = None;
+    for snapshot_every in cadences {
+        let mut samples = Vec::with_capacity(reps);
+        let mut last: Option<(Option<StreamCheckpoint>, StreamingRunner)> = None;
+        for _ in 0..reps {
+            let (ms, ckpt, runner) = run_once(subscribers, batches, snapshot_every, seed);
+            samples.push(ms);
+            last = Some((ckpt, runner));
+        }
+        let wall = WallStats::from_samples(&samples);
+        if baseline_mean.is_none() {
+            baseline_mean = Some(wall.mean);
+        }
+        let base = baseline_mean.expect("baseline runs first");
+        let overhead_pct = if base > 0.0 {
+            100.0 * (wall.mean - base) / base
+        } else {
+            0.0
+        };
+
+        let (ckpt, runner) = last.expect("reps >= 1");
+        let row = match ckpt {
+            None => PersistRow {
+                snapshot_every,
+                batches,
+                snapshots: 0,
+                wall_ms: wall,
+                overhead_pct,
+                checkpoint_bytes: 0,
+                tail_batches: 0,
+                encode_ms: 0.0,
+                decode_ms: 0.0,
+                resume_ms: 0.0,
+                resume_matches: true,
+            },
+            Some(ckpt) => {
+                let every = snapshot_every.expect("checkpoint implies cadence");
+                let t = Instant::now();
+                let bytes = ckpt.to_bytes();
+                let encode_ms = t.elapsed().as_secs_f64() * 1e3;
+                let t = Instant::now();
+                let decoded = StreamCheckpoint::from_bytes(&bytes).expect("self-written bytes");
+                let decode_ms = t.elapsed().as_secs_f64() * 1e3;
+                let t = Instant::now();
+                let resumed = StreamingRunner::resume(decoded);
+                let resume_ms = t.elapsed().as_secs_f64() * 1e3;
+                PersistRow {
+                    snapshot_every,
+                    batches,
+                    snapshots: batches / every,
+                    wall_ms: wall,
+                    overhead_pct,
+                    checkpoint_bytes: bytes.len(),
+                    tail_batches: ckpt.tail.len(),
+                    encode_ms,
+                    decode_ms,
+                    resume_ms,
+                    resume_matches: resumed.timeline() == runner.timeline()
+                        && resumed.partitioner().graph() == runner.partitioner().graph()
+                        && resumed.partitioner().partitioning()
+                            == runner.partitioner().partitioning(),
+                }
+            }
+        };
+        rows.push(row);
+    }
+
+    PersistResult {
+        reps,
+        subscribers,
+        batches,
+        rows,
+    }
+}
+
+/// Serialises the result as JSON (hand-rolled: the vendored `serde`
+/// carries no data model — the real codec in this workspace is binary, and
+/// lives in `apg-persist`).
+pub fn to_json(result: &PersistResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"checkpoint-overhead\",\n");
+    out.push_str(&format!(
+        "  \"reps\": {}, \"subscribers\": {}, \"batches\": {}, \"k\": {}, \
+         \"iterations_per_batch\": {},\n",
+        result.reps, result.subscribers, result.batches, K, ITERS_PER_BATCH
+    ));
+    out.push_str(&format!(
+        "  \"all_resumes_match\": {},\n",
+        result.all_resumes_match()
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in result.rows.iter().enumerate() {
+        let cadence = match row.snapshot_every {
+            None => "null".to_string(),
+            Some(n) => n.to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"snapshot_every\": {}, \"snapshots\": {}, \
+             \"wall_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"median\": {:.3}}}, \
+             \"overhead_pct\": {:.2}, \"checkpoint_bytes\": {}, \
+             \"tail_batches\": {}, \"encode_ms\": {:.3}, \"decode_ms\": {:.3}, \
+             \"resume_ms\": {:.3}, \"resume_matches\": {}}}{}\n",
+            cadence,
+            row.snapshots,
+            row.wall_ms.mean,
+            row.wall_ms.min,
+            row.wall_ms.median,
+            row.overhead_pct,
+            row.checkpoint_bytes,
+            row.tail_batches,
+            row.encode_ms,
+            row.decode_ms,
+            row.resume_ms,
+            row.resume_matches,
+            if i + 1 < result.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints the cadence table.
+pub fn print(result: &PersistResult) {
+    println!(
+        "Checkpoint overhead: CDR stream, {} subscribers, {} batches, {} reps",
+        result.subscribers, result.batches, result.reps
+    );
+    println!(
+        "{:>14} {:>10} {:>11} {:>9} {:>11} {:>10} {:>10} {:>10} {:>7}",
+        "cadence",
+        "snapshots",
+        "median ms",
+        "over %",
+        "ckpt bytes",
+        "encode ms",
+        "decode ms",
+        "resume ms",
+        "match"
+    );
+    for row in &result.rows {
+        let cadence = match row.snapshot_every {
+            None => "off".to_string(),
+            Some(n) => format!("every {n}"),
+        };
+        println!(
+            "{:>14} {:>10} {:>11.1} {:>9.2} {:>11} {:>10.3} {:>10.3} {:>10.3} {:>7}",
+            cadence,
+            row.snapshots,
+            row.wall_ms.median,
+            row.overhead_pct,
+            row.checkpoint_bytes,
+            row.encode_ms,
+            row.decode_ms,
+            row.resume_ms,
+            row.resume_matches,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_runs_and_resumes_match() {
+        let result = run(Scale::Tiny, 1, 5);
+        assert_eq!(result.rows.len(), 4);
+        assert!(result.all_resumes_match());
+        assert!(
+            result.rows[0].checkpoint_bytes == 0,
+            "baseline writes nothing"
+        );
+        assert!(
+            result.rows.iter().skip(1).all(|r| r.checkpoint_bytes > 0),
+            "checkpointing rows must serialise something"
+        );
+        // A fresh snapshot at each cadence empties the tail, so what is
+        // left at the end is exactly the batches since the last snapshot.
+        for row in result.rows.iter().skip(1) {
+            assert_eq!(
+                row.tail_batches,
+                result.batches % row.snapshot_every.unwrap()
+            );
+        }
+        let json = to_json(&result);
+        assert!(json.contains("\"experiment\": \"checkpoint-overhead\""));
+        assert!(json.contains("\"all_resumes_match\": true"));
+    }
+}

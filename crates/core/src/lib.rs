@@ -39,6 +39,7 @@
 pub mod candidates;
 pub mod config;
 pub mod partitioner;
+pub mod persist;
 pub mod quota;
 pub mod runner;
 pub mod stats;
@@ -47,6 +48,7 @@ pub mod streaming;
 pub use candidates::{DecisionKernel, MigrationDecision};
 pub use config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
 pub use partitioner::{AdaptivePartitioner, IterationStats};
+pub use persist::{PartitionerState, StreamCheckpoint};
 pub use quota::QuotaTable;
 pub use runner::ConvergenceReport;
 pub use stats::{mean_and_sem, Summary};

@@ -525,6 +525,77 @@ impl AdaptivePartitioner {
         }
     }
 
+    /// Captures the partitioner's complete logical state for persistence:
+    /// graph (tombstones included), assignment with live sizes, config,
+    /// seed, iteration counter and quiet streak, plus fixed capacities if
+    /// any were set.
+    ///
+    /// The capture is *complete* in the determinism sense:
+    /// [`AdaptivePartitioner::restore`] on the returned state yields a
+    /// partitioner whose future [`AdaptivePartitioner::iterate`] history is
+    /// identical to this one's — the iteration counter keys the per-shard
+    /// RNG streams, so it must survive the trip. The incremental
+    /// accounting (cut, degree mass) is *not* captured: it is a pure
+    /// function of graph + assignment and is recomputed on restore.
+    pub fn snapshot_state(&self) -> crate::persist::PartitionerState {
+        crate::persist::PartitionerState {
+            graph: self.graph.clone(),
+            partitioning: self.partitioning.clone(),
+            config: self.config.clone(),
+            seed: self.seed,
+            iteration: self.iteration,
+            quiet_streak: self.quiet_streak,
+            fixed_capacities: match &self.capacity_mode {
+                CapacityMode::Auto => None,
+                CapacityMode::Fixed(caps) => Some(caps.clone()),
+            },
+        }
+    }
+
+    /// Rebuilds a partitioner from state captured by
+    /// [`AdaptivePartitioner::snapshot_state`] (possibly on a previous
+    /// process), recomputing the incremental accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is internally inconsistent (assignment not
+    /// covering the graph, partition-count mismatch). Decoded states are
+    /// validated before this is reached; see
+    /// [`crate::persist::PartitionerState`].
+    pub fn restore(state: crate::persist::PartitionerState) -> Self {
+        assert_eq!(
+            state.partitioning.num_vertices(),
+            state.graph.num_vertices(),
+            "assignment does not cover the graph"
+        );
+        assert_eq!(
+            state.partitioning.num_partitions(),
+            state.config.num_partitions,
+            "partition count mismatch"
+        );
+        let capacity_mode = match state.fixed_capacities {
+            None => CapacityMode::Auto,
+            Some(caps) => {
+                assert_eq!(
+                    caps.num_partitions(),
+                    state.config.num_partitions,
+                    "capacity table does not match the partition count"
+                );
+                CapacityMode::Fixed(caps)
+            }
+        };
+        let mut p = Self::from_parts(
+            state.graph,
+            state.partitioning,
+            state.config,
+            capacity_mode,
+            state.seed,
+        );
+        p.iteration = state.iteration;
+        p.quiet_streak = state.quiet_streak;
+        p
+    }
+
     /// Audits internal invariants (incremental cut vs recount, size
     /// accounting); used by tests and debug assertions.
     ///

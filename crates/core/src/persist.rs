@@ -1,0 +1,656 @@
+//! Restartable streams: checkpoints as `(snapshot, delta-log tail)` with
+//! log compaction.
+//!
+//! This is the top of the workspace's durable-state stack (`apg-persist`
+//! holds the codec, `apg-graph`/`apg-partition` the substrate codecs). The
+//! unit of durability is the [`StreamCheckpoint`]:
+//!
+//! * a **snapshot** — the full logical state of a [`StreamingRunner`] at
+//!   some batch boundary ([`PartitionerState`] + runner settings + the
+//!   timeline and recorded log so far), and
+//! * a **tail** — the [`DeltaLog`] of batches ingested *after* the
+//!   snapshot was taken (the write-ahead segment).
+//!
+//! The operating loop writes the snapshot rarely and appends each ingested
+//! batch to the tail (O(batch)). A snapshot is O(state), and note that the
+//! state includes the whole [`TimelineStats`] history (plus the recorded
+//! replay log when recording is on) — that is what makes resume exactly
+//! reproduce an uninterrupted run's timeline, but it means snapshot size
+//! grows with stream length, not just graph size; bounding it (a rolling
+//! timeline suffix + digest) is a roadmap item. After a crash,
+//! [`StreamingRunner::resume`] rebuilds the runner from the snapshot and
+//! re-ingests the tail; because ingestion and the decision sweep are
+//! deterministic, the resumed runner's [`TimelineStats`] timeline — and
+//! every future batch it processes — is byte-identical to an uninterrupted
+//! run's (`wall_ms` aside). [`StreamCheckpoint::compact`] folds a prefix
+//! of the tail into a fresh snapshot by exactly that replay, then truncates
+//! the segments, bounding recovery time on long streams.
+//!
+//! The stream *source* is not persisted: every `apg-streams` source is a
+//! pure function of its constructor arguments, so the checkpoint only
+//! records the [`SourceCursor`] — reconstruct the source with the same
+//! arguments and [`RestartableSource::fast_forward`] to the cursor.
+//!
+//! [`RestartableSource::fast_forward`]: apg_streams::RestartableSource::fast_forward
+//!
+//! # Example
+//!
+//! ```
+//! use apg_core::{AdaptiveConfig, AdaptivePartitioner, StreamingRunner};
+//! use apg_core::persist::StreamCheckpoint;
+//! use apg_graph::DynGraph;
+//! use apg_partition::InitialStrategy;
+//! use apg_streams::{PowerLawGrowth, RestartableSource, StreamSource};
+//!
+//! let base = DynGraph::with_vertices(100);
+//! let cfg = AdaptiveConfig::new(4).parallelism(1);
+//! let p = AdaptivePartitioner::with_strategy(&base, InitialStrategy::Hash, &cfg, 7);
+//! let mut runner = StreamingRunner::new(p).iterations_per_batch(2);
+//! let mut source = PowerLawGrowth::new(&base, 3, 25, 7);
+//!
+//! // Process four batches, checkpointing after two.
+//! let mut ckpt = None;
+//! for i in 0..4 {
+//!     let batch = source.next_batch().unwrap();
+//!     runner.ingest(&batch);
+//!     match &mut ckpt {
+//!         None if i == 1 => ckpt = Some(runner.checkpoint()),
+//!         Some(c) => c.append(batch), // write-ahead the tail
+//!         None => {}
+//!     }
+//! }
+//! let bytes = ckpt.unwrap().to_bytes(); // what would hit disk
+//!
+//! // "Crash": rebuild everything from the bytes.
+//! let ckpt = StreamCheckpoint::from_bytes(&bytes).unwrap();
+//! let mut source2 = PowerLawGrowth::new(&base, 3, 25, 7);
+//! source2.fast_forward(ckpt.cursor());
+//! let mut resumed = StreamingRunner::resume(ckpt);
+//! assert_eq!(resumed.timeline(), runner.timeline());
+//!
+//! // Both runs continue identically.
+//! let next = source.next_batch().unwrap();
+//! assert_eq!(source2.next_batch().unwrap(), next);
+//! assert_eq!(resumed.ingest(&next), runner.ingest(&next));
+//! ```
+
+use apg_graph::{DeltaLog, DynGraph, Graph, UpdateBatch};
+use apg_partition::{CapacityModel, Partitioning};
+use apg_persist::{decode_len, format, Decode, DecodeError, Decoder, Encode, Encoder};
+use apg_streams::SourceCursor;
+
+use crate::config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
+use crate::partitioner::AdaptivePartitioner;
+use crate::streaming::{StreamingRunner, TimelineStats};
+
+/// The complete logical state of an [`AdaptivePartitioner`], as captured
+/// by [`AdaptivePartitioner::snapshot_state`].
+///
+/// Holds exactly the fields the determinism contract needs (the iteration
+/// counter keys the per-shard RNG streams) and none of the derived
+/// accounting (cut, degree mass), which restore recomputes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionerState {
+    /// The graph, tombstone slots included (ids stay dense on restore).
+    pub graph: DynGraph,
+    /// Assignment and live sizes.
+    pub partitioning: Partitioning,
+    /// Full configuration, `parallelism` included (results are identical
+    /// at every parallelism level, so restoring it is a wall-clock choice,
+    /// not a correctness one).
+    pub config: AdaptiveConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Iterations executed so far (keys the RNG streams and the anneal
+    /// schedule).
+    pub iteration: usize,
+    /// Consecutive migration-free iterations.
+    pub quiet_streak: usize,
+    /// Explicit capacity limits, if the automatic tracking was overridden.
+    pub fixed_capacities: Option<CapacityModel>,
+}
+
+impl Encode for QuotaRule {
+    fn encode(&self, enc: &mut Encoder) {
+        let tag: u8 = match self {
+            QuotaRule::PerSourceSplit => 0,
+            QuotaRule::Unbounded => 1,
+        };
+        tag.encode(enc);
+    }
+}
+
+impl Decode for QuotaRule {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(dec)? {
+            0 => Ok(QuotaRule::PerSourceSplit),
+            1 => Ok(QuotaRule::Unbounded),
+            _ => Err(DecodeError::Corrupt("unknown QuotaRule tag")),
+        }
+    }
+}
+
+impl Encode for PlacementPolicy {
+    fn encode(&self, enc: &mut Encoder) {
+        let tag: u8 = match self {
+            PlacementPolicy::HashWithFallback => 0,
+            PlacementPolicy::LeastLoaded => 1,
+        };
+        tag.encode(enc);
+    }
+}
+
+impl Decode for PlacementPolicy {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(dec)? {
+            0 => Ok(PlacementPolicy::HashWithFallback),
+            1 => Ok(PlacementPolicy::LeastLoaded),
+            _ => Err(DecodeError::Corrupt("unknown PlacementPolicy tag")),
+        }
+    }
+}
+
+impl Encode for Anneal {
+    fn encode(&self, enc: &mut Encoder) {
+        self.start.encode(enc);
+        self.end.encode(enc);
+        self.over_iterations.encode(enc);
+    }
+}
+
+impl Decode for Anneal {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let anneal = Anneal {
+            start: f64::decode(dec)?,
+            end: f64::decode(dec)?,
+            over_iterations: usize::decode(dec)?,
+        };
+        if !(0.0..=1.0).contains(&anneal.start) || !(0.0..=1.0).contains(&anneal.end) {
+            return Err(DecodeError::Corrupt("anneal endpoint outside [0, 1]"));
+        }
+        Ok(anneal)
+    }
+}
+
+impl Encode for AdaptiveConfig {
+    fn encode(&self, enc: &mut Encoder) {
+        self.num_partitions.encode(enc);
+        self.willingness.encode(enc);
+        self.capacity_factor.encode(enc);
+        self.convergence_window.encode(enc);
+        self.max_iterations.encode(enc);
+        self.quota_rule.encode(enc);
+        self.placement.encode(enc);
+        self.anneal.encode(enc);
+        self.balance_edges.encode(enc);
+        self.count_self.encode(enc);
+        self.parallelism.encode(enc);
+    }
+}
+
+impl Decode for AdaptiveConfig {
+    /// Re-validates every invariant the builder methods assert, returning
+    /// errors instead of panicking.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let config = AdaptiveConfig {
+            num_partitions: u16::decode(dec)?,
+            willingness: f64::decode(dec)?,
+            capacity_factor: f64::decode(dec)?,
+            convergence_window: usize::decode(dec)?,
+            max_iterations: usize::decode(dec)?,
+            quota_rule: QuotaRule::decode(dec)?,
+            placement: PlacementPolicy::decode(dec)?,
+            anneal: Option::<Anneal>::decode(dec)?,
+            balance_edges: bool::decode(dec)?,
+            count_self: bool::decode(dec)?,
+            parallelism: usize::decode(dec)?,
+        };
+        if config.num_partitions == 0 {
+            return Err(DecodeError::Corrupt("config has zero partitions"));
+        }
+        if !(0.0..=1.0).contains(&config.willingness) {
+            return Err(DecodeError::Corrupt("willingness outside [0, 1]"));
+        }
+        if !config.capacity_factor.is_finite() || config.capacity_factor < 1.0 {
+            return Err(DecodeError::Corrupt("capacity factor below 1.0"));
+        }
+        if config.parallelism == 0 {
+            return Err(DecodeError::Corrupt("config has zero parallelism"));
+        }
+        Ok(config)
+    }
+}
+
+impl Encode for TimelineStats {
+    fn encode(&self, enc: &mut Encoder) {
+        for field in self.deterministic_fields() {
+            field.encode(enc);
+        }
+        // Measurement, not state — persisted for reporting, ignored by
+        // equality exactly as in memory.
+        self.wall_ms.encode(enc);
+    }
+}
+
+impl Decode for TimelineStats {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TimelineStats {
+            batch: usize::decode(dec)?,
+            deltas: usize::decode(dec)?,
+            vertices_added: usize::decode(dec)?,
+            vertices_removed: usize::decode(dec)?,
+            edges_added: usize::decode(dec)?,
+            edges_removed: usize::decode(dec)?,
+            cut_before: usize::decode(dec)?,
+            cut_after_ingest: usize::decode(dec)?,
+            cut_after: usize::decode(dec)?,
+            migrations: usize::decode(dec)?,
+            iterations: usize::decode(dec)?,
+            live_vertices: usize::decode(dec)?,
+            num_edges: usize::decode(dec)?,
+            wall_ms: f64::decode(dec)?,
+        })
+    }
+}
+
+impl Encode for PartitionerState {
+    fn encode(&self, enc: &mut Encoder) {
+        self.graph.encode(enc);
+        self.partitioning.encode(enc);
+        self.config.encode(enc);
+        self.seed.encode(enc);
+        self.iteration.encode(enc);
+        self.quiet_streak.encode(enc);
+        self.fixed_capacities.encode(enc);
+    }
+}
+
+impl Decode for PartitionerState {
+    /// Validates cross-field consistency (assignment covering the graph,
+    /// matching partition counts) so [`AdaptivePartitioner::restore`] can
+    /// never panic on decoded state.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let state = PartitionerState {
+            graph: DynGraph::decode(dec)?,
+            partitioning: Partitioning::decode(dec)?,
+            config: AdaptiveConfig::decode(dec)?,
+            seed: u64::decode(dec)?,
+            iteration: usize::decode(dec)?,
+            quiet_streak: usize::decode(dec)?,
+            fixed_capacities: Option::<CapacityModel>::decode(dec)?,
+        };
+        if state.partitioning.num_vertices() != state.graph.num_vertices() {
+            return Err(DecodeError::Corrupt(
+                "assignment does not cover the graph's slots",
+            ));
+        }
+        if state.partitioning.num_partitions() != state.config.num_partitions {
+            return Err(DecodeError::Corrupt(
+                "assignment and config disagree on the partition count",
+            ));
+        }
+        if let Some(caps) = &state.fixed_capacities {
+            if caps.num_partitions() != state.config.num_partitions {
+                return Err(DecodeError::Corrupt(
+                    "capacity table and config disagree on the partition count",
+                ));
+            }
+        }
+        Ok(state)
+    }
+}
+
+/// A durable `(snapshot, log tail)` pair for a [`StreamingRunner`].
+///
+/// Created by [`StreamingRunner::checkpoint`]; grown batch-by-batch with
+/// [`StreamCheckpoint::append`]; bounded with [`StreamCheckpoint::compact`];
+/// turned back into a live runner with [`StreamingRunner::resume`];
+/// serialised with [`StreamCheckpoint::to_bytes`] /
+/// [`StreamCheckpoint::from_bytes`] (framed `APGC` container).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Partitioner state at the snapshot boundary.
+    pub state: PartitionerState,
+    /// The runner's per-batch iteration budget.
+    pub iterations_per_batch: usize,
+    /// Whether the runner records its ingested batches into a replay log.
+    pub record: bool,
+    /// The runner's recorded replay log at the snapshot boundary (empty
+    /// unless recording was enabled).
+    pub log: DeltaLog,
+    /// Timeline up to the snapshot boundary.
+    pub timeline: Vec<TimelineStats>,
+    /// Batches ingested after the snapshot — the write-ahead segment that
+    /// resume replays.
+    pub tail: DeltaLog,
+}
+
+impl StreamCheckpoint {
+    /// Appends a batch the runner has ingested since the snapshot — the
+    /// O(batch) write-ahead step of the operating loop. The batch must be
+    /// appended exactly once, in ingestion order.
+    pub fn append(&mut self, batch: UpdateBatch) {
+        self.tail.record(batch);
+    }
+
+    /// Source position this checkpoint corresponds to: every batch covered
+    /// by the snapshot plus every appended tail batch. Fast-forward a
+    /// freshly reconstructed source here before pulling new batches.
+    pub fn cursor(&self) -> SourceCursor {
+        SourceCursor::at((self.timeline.len() + self.tail.len()) as u64)
+    }
+
+    /// Folds the oldest `batches` tail segments into a fresh snapshot and
+    /// truncates them, keeping recovery O(tail) instead of O(stream).
+    ///
+    /// Replay is deterministic, so compaction is observationally lossless:
+    /// resuming the compacted checkpoint yields exactly the runner that
+    /// resuming the uncompacted one would (pinned by the
+    /// compaction-equals-full-replay property tests).
+    pub fn compact(&mut self, batches: usize) {
+        let n = batches.min(self.tail.len());
+        if n == 0 {
+            return;
+        }
+        let mut tail = std::mem::take(&mut self.tail);
+        let prefix = DeltaLog::from(tail.split_front(n));
+        // Move the expensive parts (graph, assignment, log, timeline) into
+        // the replay instead of deep-cloning them — `*self` is rebuilt from
+        // the folded runner right after, so only cheap stand-ins are left
+        // behind transiently.
+        let state = PartitionerState {
+            graph: std::mem::replace(&mut self.state.graph, DynGraph::new()),
+            partitioning: std::mem::replace(&mut self.state.partitioning, Partitioning::new(0, 1)),
+            config: self.state.config.clone(),
+            seed: self.state.seed,
+            iteration: self.state.iteration,
+            quiet_streak: self.state.quiet_streak,
+            fixed_capacities: self.state.fixed_capacities.take(),
+        };
+        let folded = StreamingRunner::resume(StreamCheckpoint {
+            state,
+            iterations_per_batch: self.iterations_per_batch,
+            record: self.record,
+            log: std::mem::take(&mut self.log),
+            timeline: std::mem::take(&mut self.timeline),
+            tail: prefix,
+        });
+        *self = folded.checkpoint();
+        self.tail = tail;
+    }
+
+    /// Serialises as a framed, versioned checkpoint file (`APGC` magic).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format::encode_framed(format::MAGIC_CHECKPOINT, self)
+    }
+
+    /// Restores a checkpoint written by [`StreamCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`]: wrong magic, unsupported version, truncation,
+    /// or a payload violating the checkpoint invariants.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        format::decode_framed(format::MAGIC_CHECKPOINT, bytes)
+    }
+}
+
+impl Encode for StreamCheckpoint {
+    fn encode(&self, enc: &mut Encoder) {
+        self.state.encode(enc);
+        self.iterations_per_batch.encode(enc);
+        self.record.encode(enc);
+        self.log.encode(enc);
+        self.timeline.encode(enc);
+        self.tail.encode(enc);
+    }
+}
+
+impl Decode for StreamCheckpoint {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let state = PartitionerState::decode(dec)?;
+        let iterations_per_batch = usize::decode(dec)?;
+        let record = bool::decode(dec)?;
+        let log = DeltaLog::decode(dec)?;
+        let timeline_len = decode_len(dec, 14)?;
+        let mut timeline = Vec::with_capacity(timeline_len);
+        for i in 0..timeline_len {
+            let stats = TimelineStats::decode(dec)?;
+            if stats.batch != i {
+                return Err(DecodeError::Corrupt("timeline batch indices not dense"));
+            }
+            timeline.push(stats);
+        }
+        let tail = DeltaLog::decode(dec)?;
+        Ok(StreamCheckpoint {
+            state,
+            iterations_per_batch,
+            record,
+            log,
+            timeline,
+            tail,
+        })
+    }
+}
+
+impl StreamingRunner {
+    /// Captures a durable snapshot of this runner at the current batch
+    /// boundary, with an empty write-ahead tail.
+    ///
+    /// The intended loop: checkpoint rarely (O(graph)), then
+    /// [`StreamCheckpoint::append`] each ingested batch (O(batch)), and
+    /// occasionally [`StreamCheckpoint::compact`]. A checkpoint taken
+    /// mid-stream plus the tail of later batches reproduces this runner
+    /// exactly — see [`StreamingRunner::resume`].
+    pub fn checkpoint(&self) -> StreamCheckpoint {
+        StreamCheckpoint {
+            state: self.partitioner().snapshot_state(),
+            iterations_per_batch: self.iterations_budget(),
+            record: self.records_log(),
+            log: self.log().clone(),
+            timeline: self.timeline().to_vec(),
+            tail: DeltaLog::new(),
+        }
+    }
+
+    /// Rebuilds a runner from a checkpoint: restores the snapshot state,
+    /// then re-ingests the write-ahead tail through the normal
+    /// deterministic path.
+    ///
+    /// The result is byte-identical (timeline, partitioning, cut, graph —
+    /// everything but `wall_ms`) to the runner that produced the
+    /// checkpoint, and its future behaviour is byte-identical to an
+    /// uninterrupted run's. To continue pulling from a stream, reconstruct
+    /// the source with its original arguments and fast-forward it to
+    /// [`StreamCheckpoint::cursor`].
+    pub fn resume(checkpoint: StreamCheckpoint) -> StreamingRunner {
+        let StreamCheckpoint {
+            state,
+            iterations_per_batch,
+            record,
+            log,
+            timeline,
+            tail,
+        } = checkpoint;
+        let mut runner = StreamingRunner::from_checkpoint_parts(
+            AdaptivePartitioner::restore(state),
+            iterations_per_batch,
+            record,
+            log,
+            timeline,
+        );
+        for batch in tail.into_batches() {
+            runner.ingest(&batch);
+        }
+        runner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apg_partition::InitialStrategy;
+    use apg_streams::{RestartableSource, StreamSource};
+
+    fn growth_runner(parallelism: usize) -> (StreamingRunner, apg_streams::PowerLawGrowth) {
+        let base = DynGraph::with_vertices(200);
+        let cfg = AdaptiveConfig::new(4).parallelism(parallelism);
+        let p = AdaptivePartitioner::with_strategy(&base, InitialStrategy::Hash, &cfg, 11);
+        let runner = StreamingRunner::new(p)
+            .iterations_per_batch(2)
+            .record_log(true);
+        let source = apg_streams::PowerLawGrowth::new(&base, 3, 40, 11);
+        (runner, source)
+    }
+
+    #[test]
+    fn checkpoint_bytes_round_trip() {
+        let (mut runner, mut source) = growth_runner(1);
+        runner.drive(&mut source, 3);
+        let mut ckpt = runner.checkpoint();
+        let batch = source.next_batch().unwrap();
+        runner.ingest(&batch);
+        ckpt.append(batch);
+        let back = StreamCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.cursor(), apg_streams::SourceCursor::at(4));
+    }
+
+    #[test]
+    fn resume_reproduces_the_runner_exactly() {
+        let (mut runner, mut source) = growth_runner(1);
+        runner.drive(&mut source, 2);
+        let mut ckpt = runner.checkpoint();
+        for _ in 0..3 {
+            let batch = source.next_batch().unwrap();
+            runner.ingest(&batch);
+            ckpt.append(batch);
+        }
+        let mut resumed =
+            StreamingRunner::resume(StreamCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap());
+        assert_eq!(resumed.timeline(), runner.timeline());
+        assert_eq!(resumed.log(), runner.log());
+        assert_eq!(resumed.partitioner().graph(), runner.partitioner().graph());
+        assert_eq!(
+            resumed.partitioner().partitioning(),
+            runner.partitioner().partitioning()
+        );
+        assert_eq!(
+            resumed.partitioner().cut_edges(),
+            runner.partitioner().cut_edges()
+        );
+        assert_eq!(
+            resumed.partitioner().iteration(),
+            runner.partitioner().iteration()
+        );
+        resumed.partitioner().audit();
+
+        // The futures agree too.
+        let mut source2 = {
+            let base = DynGraph::with_vertices(200);
+            apg_streams::PowerLawGrowth::new(&base, 3, 40, 11)
+        };
+        source2.fast_forward(ckpt_cursor_of(&resumed));
+        let batch = source.next_batch().unwrap();
+        assert_eq!(source2.next_batch().unwrap(), batch);
+        assert_eq!(resumed.ingest(&batch), runner.ingest(&batch));
+    }
+
+    fn ckpt_cursor_of(runner: &StreamingRunner) -> apg_streams::SourceCursor {
+        apg_streams::SourceCursor::at(runner.timeline().len() as u64)
+    }
+
+    #[test]
+    fn compaction_preserves_the_resumed_runner() {
+        let (mut runner, mut source) = growth_runner(1);
+        runner.drive(&mut source, 1);
+        let mut ckpt = runner.checkpoint();
+        for _ in 0..5 {
+            let batch = source.next_batch().unwrap();
+            runner.ingest(&batch);
+            ckpt.append(batch);
+        }
+        let full = ckpt.clone();
+        ckpt.compact(3);
+        assert_eq!(ckpt.tail.len(), 2, "three segments folded away");
+        assert_eq!(ckpt.timeline.len(), 4, "snapshot advanced to batch 4");
+        assert_eq!(ckpt.cursor(), full.cursor(), "coverage unchanged");
+
+        let a = StreamingRunner::resume(full);
+        let b = StreamingRunner::resume(ckpt);
+        assert_eq!(a.timeline(), b.timeline());
+        assert_eq!(a.partitioner().graph(), b.partitioner().graph());
+        assert_eq!(
+            a.partitioner().partitioning(),
+            b.partitioner().partitioning()
+        );
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn compact_everything_and_nothing() {
+        let (mut runner, mut source) = growth_runner(1);
+        runner.drive(&mut source, 1);
+        let mut ckpt = runner.checkpoint();
+        for _ in 0..2 {
+            let batch = source.next_batch().unwrap();
+            runner.ingest(&batch);
+            ckpt.append(batch);
+        }
+        let before = ckpt.clone();
+        ckpt.compact(0);
+        assert_eq!(ckpt, before, "compact(0) is a no-op");
+        ckpt.compact(usize::MAX);
+        assert!(ckpt.tail.is_empty(), "over-asking folds the whole tail");
+        assert_eq!(
+            StreamingRunner::resume(ckpt).timeline(),
+            StreamingRunner::resume(before).timeline(),
+        );
+    }
+
+    #[test]
+    fn config_and_state_decoders_reject_corruption() {
+        let cfg = AdaptiveConfig::new(3);
+        // Willingness out of range.
+        let mut bad = cfg.clone();
+        bad.willingness = 7.5;
+        assert!(matches!(
+            AdaptiveConfig::from_bytes(&bad.to_bytes()).unwrap_err(),
+            DecodeError::Corrupt("willingness outside [0, 1]")
+        ));
+        // Partitioner state whose assignment is too short for the graph.
+        let graph = DynGraph::with_vertices(5);
+        let p = AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &cfg, 1);
+        let mut state = p.snapshot_state();
+        state.partitioning = Partitioning::new(3, 3);
+        assert!(matches!(
+            PartitionerState::from_bytes(&state.to_bytes()).unwrap_err(),
+            DecodeError::Corrupt("assignment does not cover the graph's slots")
+        ));
+    }
+
+    #[test]
+    fn fixed_capacities_survive_the_trip() {
+        let graph = DynGraph::with_vertices(60);
+        let cfg = AdaptiveConfig::new(3);
+        let mut p = AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &cfg, 5);
+        let caps = CapacityModel::vertex_balanced(60, 3, 1.5);
+        p.set_fixed_capacities(caps.clone());
+        let state = PartitionerState::from_bytes(&p.snapshot_state().to_bytes()).unwrap();
+        assert_eq!(state.fixed_capacities.as_ref(), Some(&caps));
+        let restored = AdaptivePartitioner::restore(state);
+        assert_eq!(restored.capacities(), caps);
+    }
+
+    #[test]
+    fn timeline_decode_requires_dense_batch_indices() {
+        let (mut runner, mut source) = growth_runner(1);
+        runner.drive(&mut source, 2);
+        let mut ckpt = runner.checkpoint();
+        ckpt.timeline[1].batch = 7;
+        assert!(matches!(
+            StreamCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap_err(),
+            DecodeError::Corrupt("timeline batch indices not dense")
+        ));
+    }
+}

@@ -247,6 +247,34 @@ impl StreamingRunner {
         &self.timeline
     }
 
+    /// The per-batch iteration budget currently in effect.
+    pub fn iterations_budget(&self) -> usize {
+        self.iterations_per_batch
+    }
+
+    /// Whether ingested batches are recorded into the replay log.
+    pub fn records_log(&self) -> bool {
+        self.record
+    }
+
+    /// Reassembles a runner from checkpointed parts (resume path; see
+    /// [`crate::persist`]).
+    pub(crate) fn from_checkpoint_parts(
+        partitioner: AdaptivePartitioner,
+        iterations_per_batch: usize,
+        record: bool,
+        log: DeltaLog,
+        timeline: Vec<TimelineStats>,
+    ) -> Self {
+        StreamingRunner {
+            partitioner,
+            iterations_per_batch,
+            record,
+            log,
+            timeline,
+        }
+    }
+
     /// The recorded delta log (empty unless
     /// [`StreamingRunner::record_log`] enabled recording).
     pub fn log(&self) -> &DeltaLog {

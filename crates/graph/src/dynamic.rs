@@ -44,6 +44,23 @@ impl DynGraph {
         Self::default()
     }
 
+    /// Assembles a graph from already-validated parts (the snapshot
+    /// decoder's entry point; see `crate::persist`).
+    pub(crate) fn from_raw_parts(
+        adj: Vec<Vec<VertexId>>,
+        alive: Vec<bool>,
+        num_live: usize,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert_eq!(adj.len(), alive.len());
+        DynGraph {
+            adj,
+            alive,
+            num_live,
+            num_edges,
+        }
+    }
+
     /// Creates a graph with `n` live, isolated vertices.
     pub fn with_vertices(n: usize) -> Self {
         DynGraph {

@@ -37,6 +37,7 @@ pub mod delta;
 pub mod dynamic;
 pub mod gen;
 pub mod io;
+pub mod persist;
 pub mod types;
 
 pub use csr::CsrGraph;

@@ -117,9 +117,66 @@ impl CapacityModel {
     }
 }
 
+impl apg_persist::Encode for BalanceObjective {
+    fn encode(&self, enc: &mut apg_persist::Encoder) {
+        let tag: u8 = match self {
+            BalanceObjective::Vertices => 0,
+            BalanceObjective::Edges => 1,
+        };
+        tag.encode(enc);
+    }
+}
+
+impl apg_persist::Decode for BalanceObjective {
+    fn decode(dec: &mut apg_persist::Decoder<'_>) -> Result<Self, apg_persist::DecodeError> {
+        match u8::decode(dec)? {
+            0 => Ok(BalanceObjective::Vertices),
+            1 => Ok(BalanceObjective::Edges),
+            _ => Err(apg_persist::DecodeError::Corrupt(
+                "unknown BalanceObjective tag",
+            )),
+        }
+    }
+}
+
+impl apg_persist::Encode for CapacityModel {
+    /// Binary codec (part of the `apg-persist` durable-state layer):
+    /// per-partition limits plus the balance objective.
+    fn encode(&self, enc: &mut apg_persist::Encoder) {
+        self.limits.encode(enc);
+        self.objective.encode(enc);
+    }
+}
+
+impl apg_persist::Decode for CapacityModel {
+    fn decode(dec: &mut apg_persist::Decoder<'_>) -> Result<Self, apg_persist::DecodeError> {
+        let limits = Vec::<usize>::decode(dec)?;
+        let objective = BalanceObjective::decode(dec)?;
+        if limits.is_empty() {
+            return Err(apg_persist::DecodeError::Corrupt(
+                "capacity model has no partitions",
+            ));
+        }
+        Ok(CapacityModel { limits, objective })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn binary_round_trip() {
+        use apg_persist::{Decode, Encode};
+        let mut caps = CapacityModel::edge_balanced(120, 3, 1.25);
+        caps.scale_partition(1, 2.0);
+        assert_eq!(CapacityModel::from_bytes(&caps.to_bytes()).unwrap(), caps);
+        // Empty limit tables never decode.
+        let mut enc = apg_persist::Encoder::new();
+        Vec::<usize>::new().encode(&mut enc);
+        BalanceObjective::Vertices.encode(&mut enc);
+        assert!(CapacityModel::from_bytes(&enc.into_bytes()).is_err());
+    }
 
     #[test]
     fn paper_figure4_setting() {

@@ -286,9 +286,97 @@ impl Partitioning {
     }
 }
 
+impl apg_persist::Encode for Partitioning {
+    /// Binary codec (part of the `apg-persist` durable-state layer): `k`,
+    /// the per-slot assignment, and the **live** sizes. Sizes are encoded
+    /// rather than recounted because tombstoned slots keep their stale
+    /// label — the assignment alone over-counts partitions that lost
+    /// vertices.
+    fn encode(&self, enc: &mut apg_persist::Encoder) {
+        self.num_partitions().encode(enc);
+        self.assignment.encode(enc);
+        self.sizes.encode(enc);
+    }
+}
+
+impl apg_persist::Decode for Partitioning {
+    fn decode(dec: &mut apg_persist::Decoder<'_>) -> Result<Self, apg_persist::DecodeError> {
+        use apg_persist::DecodeError;
+        let k = PartitionId::decode(dec)?;
+        if k == 0 {
+            return Err(DecodeError::Corrupt("partitioning has k == 0"));
+        }
+        let assignment = Vec::<PartitionId>::decode(dec)?;
+        let sizes = Vec::<usize>::decode(dec)?;
+        if sizes.len() != k as usize {
+            return Err(DecodeError::Corrupt("size table length differs from k"));
+        }
+        let mut label_counts = vec![0usize; k as usize];
+        for &p in &assignment {
+            if p >= k {
+                return Err(DecodeError::Corrupt("assignment entry out of range"));
+            }
+            label_counts[p as usize] += 1;
+        }
+        // Live sizes can only be what the labels admit (tombstones shrink
+        // them, never grow them).
+        for (&size, &labelled) in sizes.iter().zip(&label_counts) {
+            if size > labelled {
+                return Err(DecodeError::Corrupt(
+                    "live size exceeds the slots labelled with the partition",
+                ));
+            }
+        }
+        Ok(Partitioning { assignment, sizes })
+    }
+}
+
 #[cfg(test)]
 mod persistence_tests {
     use super::*;
+
+    #[test]
+    fn binary_round_trip_preserves_live_sizes() {
+        use apg_persist::{Decode, Encode};
+        let mut p = Partitioning::from_assignment(vec![0, 2, 1, 2, 0], 3);
+        p.forget_vertex(1); // tombstone keeps its stale label
+        let back = Partitioning::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.sizes(), &[2, 1, 1]);
+        assert_eq!(back.partition_of(1), 2, "stale label survives the trip");
+    }
+
+    #[test]
+    fn binary_decode_rejects_inconsistencies() {
+        use apg_persist::{Decode, DecodeError, Encode, Encoder};
+        // Out-of-range assignment entry.
+        let mut enc = Encoder::new();
+        2u16.encode(&mut enc);
+        vec![0u16, 5].encode(&mut enc);
+        vec![1usize, 1].encode(&mut enc);
+        assert!(matches!(
+            Partitioning::from_bytes(&enc.into_bytes()).unwrap_err(),
+            DecodeError::Corrupt("assignment entry out of range")
+        ));
+        // Size table claiming more live vertices than labels exist.
+        let mut enc = Encoder::new();
+        2u16.encode(&mut enc);
+        vec![0u16, 0].encode(&mut enc);
+        vec![2usize, 1].encode(&mut enc);
+        assert!(matches!(
+            Partitioning::from_bytes(&enc.into_bytes()).unwrap_err(),
+            DecodeError::Corrupt(_)
+        ));
+        // k == 0.
+        let mut enc = Encoder::new();
+        0u16.encode(&mut enc);
+        Vec::<u16>::new().encode(&mut enc);
+        Vec::<usize>::new().encode(&mut enc);
+        assert!(matches!(
+            Partitioning::from_bytes(&enc.into_bytes()).unwrap_err(),
+            DecodeError::Corrupt("partitioning has k == 0")
+        ));
+    }
 
     #[test]
     fn text_round_trip() {

@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 
 use apg_graph::{UpdateBatch, VertexId};
 
-use crate::source::StreamSource;
+use crate::source::{RestartableSource, SourceCursor, StreamSource};
 
 /// Identifier of a subscriber within the generator (dense, never reused).
 ///
@@ -148,6 +148,9 @@ pub struct CdrStream {
     week: u32,
     /// Update batches generated but not yet pulled via [`StreamSource`].
     pending: VecDeque<UpdateBatch>,
+    /// Batches emitted through [`StreamSource::next_batch`] (the resume
+    /// cursor).
+    emitted_batches: u64,
 }
 
 impl CdrStream {
@@ -184,6 +187,7 @@ impl CdrStream {
             num_live: 0,
             week: 0,
             pending: VecDeque::new(),
+            emitted_batches: 0,
         };
         for _ in 0..config.initial_subscribers {
             stream.spawn_subscriber();
@@ -346,7 +350,17 @@ impl StreamSource for CdrStream {
             let week = self.week();
             self.pending.extend(week.to_update_batches());
         }
-        self.pending.pop_front()
+        let batch = self.pending.pop_front();
+        if batch.is_some() {
+            self.emitted_batches += 1;
+        }
+        batch
+    }
+}
+
+impl RestartableSource for CdrStream {
+    fn cursor(&self) -> SourceCursor {
+        SourceCursor::at(self.emitted_batches)
     }
 }
 

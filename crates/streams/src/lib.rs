@@ -30,7 +30,10 @@ pub mod twitter;
 
 pub use apg_graph::gen::{forest_fire, ForestFireConfig};
 pub use cdr::{CdrConfig, CdrStream, WeekEvents};
-pub use source::{forest_fire_delta, ForestFireSource, PowerLawGrowth, StreamSource};
+pub use source::{
+    forest_fire_delta, ForestFireSource, PowerLawGrowth, RestartableSource, SourceCursor,
+    StreamSource,
+};
 pub use twitter::{MentionBatch, TwitterConfig, TwitterStream};
 
 use apg_graph::DynGraph;

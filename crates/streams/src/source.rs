@@ -45,6 +45,84 @@ impl<S: StreamSource + ?Sized> StreamSource for Box<S> {
     }
 }
 
+/// Position of a deterministic stream source: how many batches it has
+/// emitted since construction.
+///
+/// Because every source in this crate is a pure function of its
+/// constructor arguments (config, seed, base graph, clock), the emission
+/// count *is* the full resume cursor: reconstruct the source with the same
+/// arguments, [`RestartableSource::fast_forward`] to the cursor, and the
+/// next batch pulled is byte-identical to the one the original would have
+/// emitted. This is what lets a killed streaming run restart from a
+/// checkpoint without persisting generator internals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceCursor {
+    /// Batches emitted so far.
+    pub batches_emitted: u64,
+}
+
+impl SourceCursor {
+    /// Cursor at `batches_emitted` batches.
+    pub fn at(batches_emitted: u64) -> Self {
+        SourceCursor { batches_emitted }
+    }
+}
+
+impl apg_persist::Encode for SourceCursor {
+    fn encode(&self, enc: &mut apg_persist::Encoder) {
+        self.batches_emitted.encode(enc);
+    }
+}
+
+impl apg_persist::Decode for SourceCursor {
+    fn decode(dec: &mut apg_persist::Decoder<'_>) -> Result<Self, apg_persist::DecodeError> {
+        Ok(SourceCursor {
+            batches_emitted: u64::decode(dec)?,
+        })
+    }
+}
+
+/// A [`StreamSource`] that can report its position and be repositioned
+/// after a restart.
+///
+/// The contract: a freshly constructed source with the same constructor
+/// arguments, fast-forwarded to a cursor captured from another instance,
+/// emits exactly the batch sequence the original would have emitted from
+/// that point on. All four source families in this crate implement it; the
+/// default [`RestartableSource::fast_forward`] replays (and discards) the
+/// skipped batches, which re-advances the internal RNG and clocks through
+/// the same deterministic path the original took.
+pub trait RestartableSource: StreamSource {
+    /// The current position.
+    fn cursor(&self) -> SourceCursor;
+
+    /// Advances this source to `cursor` by re-emitting and discarding the
+    /// intervening batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is already past `cursor` (streams cannot
+    /// rewind) or ends before reaching it (the cursor belongs to a source
+    /// with different arguments).
+    fn fast_forward(&mut self, cursor: SourceCursor)
+    where
+        Self: Sized,
+    {
+        assert!(
+            self.cursor() <= cursor,
+            "cannot rewind a stream source: at {:?}, asked for {cursor:?}",
+            self.cursor()
+        );
+        while self.cursor() < cursor {
+            assert!(
+                self.next_batch().is_some(),
+                "stream ended before reaching {cursor:?}; was this cursor \
+                 captured from a source with the same constructor arguments?"
+            );
+        }
+    }
+}
+
 /// Computes a forest-fire expansion of `graph` as an [`UpdateBatch`]
 /// *without mutating it*: the burn runs on a shadow copy, and the batch
 /// re-expresses every new vertex and edge as deltas.
@@ -87,6 +165,7 @@ pub fn forest_fire_delta(graph: &DynGraph, cfg: &ForestFireConfig) -> UpdateBatc
 #[derive(Debug, Clone)]
 pub struct ForestFireSource {
     pending: VecDeque<UpdateBatch>,
+    emitted: u64,
 }
 
 impl ForestFireSource {
@@ -115,7 +194,10 @@ impl ForestFireSource {
             }
             pending.push_back(batch);
         }
-        ForestFireSource { pending }
+        ForestFireSource {
+            pending,
+            emitted: 0,
+        }
     }
 
     /// Batches remaining to be emitted.
@@ -126,7 +208,17 @@ impl ForestFireSource {
 
 impl StreamSource for ForestFireSource {
     fn next_batch(&mut self) -> Option<UpdateBatch> {
-        self.pending.pop_front()
+        let batch = self.pending.pop_front();
+        if batch.is_some() {
+            self.emitted += 1;
+        }
+        batch
+    }
+}
+
+impl RestartableSource for ForestFireSource {
+    fn cursor(&self) -> SourceCursor {
+        SourceCursor::at(self.emitted)
     }
 }
 
@@ -144,6 +236,7 @@ pub struct PowerLawGrowth {
     next_id: VertexId,
     edges_per_vertex: usize,
     batch_size: usize,
+    emitted: u64,
 }
 
 impl PowerLawGrowth {
@@ -170,6 +263,7 @@ impl PowerLawGrowth {
             next_id: graph.num_vertices() as VertexId,
             edges_per_vertex,
             batch_size,
+            emitted: 0,
         }
     }
 }
@@ -197,7 +291,14 @@ impl StreamSource for PowerLawGrowth {
             batch.add_vertex(targets);
             self.next_id += 1;
         }
+        self.emitted += 1;
         Some(batch)
+    }
+}
+
+impl RestartableSource for PowerLawGrowth {
+    fn cursor(&self) -> SourceCursor {
+        SourceCursor::at(self.emitted)
     }
 }
 
@@ -242,6 +343,80 @@ mod tests {
         }
         assert_eq!(batches, 7);
         assert_eq!(chunked, whole, "chunking must not lose intra-burst edges");
+    }
+
+    #[test]
+    fn fast_forward_reproduces_every_source_family() {
+        use crate::{CdrConfig, CdrStream, TwitterConfig, TwitterStream};
+        let g = base();
+
+        // For each family: pull `skip` batches on one instance, capture the
+        // cursor, fast-forward a fresh instance to it, and require the next
+        // three batches to be identical.
+        fn check<S: RestartableSource>(mut original: S, mut resumed: S, skip: u64) {
+            for _ in 0..skip {
+                original
+                    .next_batch()
+                    .expect("stream too short for the test");
+            }
+            assert_eq!(original.cursor(), SourceCursor::at(skip));
+            resumed.fast_forward(original.cursor());
+            for i in 0..3 {
+                assert_eq!(
+                    original.next_batch(),
+                    resumed.next_batch(),
+                    "batch {i} after resume diverged"
+                );
+            }
+        }
+
+        let cdr = CdrConfig {
+            initial_subscribers: 1_000,
+            ..CdrConfig::default()
+        };
+        check(CdrStream::new(cdr, 7), CdrStream::new(cdr, 7), 9);
+
+        let tw = TwitterConfig {
+            initial_users: 500,
+            ..TwitterConfig::default()
+        };
+        check(
+            TwitterStream::new(tw, 7).with_clock(6.0, 600.0),
+            TwitterStream::new(tw, 7).with_clock(6.0, 600.0),
+            5,
+        );
+
+        let cfg = ForestFireConfig::burst(40, 3);
+        check(
+            ForestFireSource::new(&g, &cfg, 5),
+            ForestFireSource::new(&g, &cfg, 5),
+            4,
+        );
+
+        check(
+            PowerLawGrowth::new(&g, 3, 16, 7),
+            PowerLawGrowth::new(&g, 3, 16, 7),
+            6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn fast_forward_rejects_rewinding() {
+        let g = base();
+        let mut s = PowerLawGrowth::new(&g, 3, 8, 1);
+        s.next_batch();
+        s.next_batch();
+        s.fast_forward(SourceCursor::at(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "stream ended before reaching")]
+    fn fast_forward_rejects_cursors_past_the_end() {
+        let g = base();
+        let cfg = ForestFireConfig::burst(10, 3);
+        let mut s = ForestFireSource::new(&g, &cfg, 5);
+        s.fast_forward(SourceCursor::at(99));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 
 use apg_graph::{UpdateBatch, VertexId};
 
-use crate::source::StreamSource;
+use crate::source::{RestartableSource, SourceCursor, StreamSource};
 
 /// Configuration of the synthetic stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,6 +114,9 @@ pub struct TwitterStream {
     window_secs: f64,
     /// Users already emitted as vertices through the [`StreamSource`] view.
     emitted_users: usize,
+    /// Batches emitted through [`StreamSource::next_batch`] (the resume
+    /// cursor).
+    emitted_batches: u64,
 }
 
 impl TwitterStream {
@@ -147,6 +150,7 @@ impl TwitterStream {
             clock_hour: 0.0,
             window_secs: 600.0,
             emitted_users: config.initial_users,
+            emitted_batches: 0,
         };
         for _ in 0..config.initial_users {
             stream.spawn_user();
@@ -304,7 +308,14 @@ impl StreamSource for TwitterStream {
         self.clock_hour = hour + self.window_secs / 3600.0;
         let batch = window.to_update_batch(self.emitted_users);
         self.emitted_users = window.num_users;
+        self.emitted_batches += 1;
         Some(batch)
+    }
+}
+
+impl RestartableSource for TwitterStream {
+    fn cursor(&self) -> SourceCursor {
+        SourceCursor::at(self.emitted_batches)
     }
 }
 

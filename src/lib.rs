@@ -24,6 +24,9 @@
 //!   cardiac-FEM kernel.
 //! * [`streams`] — dynamic workloads: Twitter mention stream, CDR churn,
 //!   forest-fire bursts.
+//! * [`persist`] — the durable-state layer: a versioned binary codec and
+//!   framed snapshot/log/checkpoint formats behind `apg-core`'s
+//!   checkpoint/resume API (restartable streams).
 //! * [`mod@bench`] — the experiment drivers behind the `fig1`…`fig9`, `table1`,
 //!   `ablation` and `all` binaries regenerating the paper's evaluation.
 //!
@@ -49,18 +52,20 @@ pub use apg_exec as exec;
 pub use apg_graph as graph;
 pub use apg_metis as metis;
 pub use apg_partition as partition;
+pub use apg_persist as persist;
 pub use apg_pregel as pregel;
 pub use apg_streams as streams;
 
 /// Most-used items in one import.
 pub mod prelude {
     pub use apg_core::{
-        AdaptiveConfig, AdaptivePartitioner, ConvergenceReport, StreamingRunner, TimelineStats,
+        AdaptiveConfig, AdaptivePartitioner, ConvergenceReport, StreamCheckpoint, StreamingRunner,
+        TimelineStats,
     };
     pub use apg_graph::{
         ApplyReport, CsrGraph, DeltaLog, DynGraph, Graph, GraphDelta, UpdateBatch, VertexId,
     };
     pub use apg_partition::{cut_edges, cut_ratio, InitialStrategy, PartitionId, Partitioning};
     pub use apg_pregel::{Context, CostModel, Engine, EngineBuilder, MutationBatch, VertexProgram};
-    pub use apg_streams::StreamSource;
+    pub use apg_streams::{RestartableSource, SourceCursor, StreamSource};
 }

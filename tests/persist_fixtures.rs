@@ -1,0 +1,249 @@
+//! Golden-fixture pins for the persistence formats.
+//!
+//! Small canonical artefacts — a graph snapshot, a delta-log segment, a
+//! full stream checkpoint — are committed under `tests/fixtures/`. Each
+//! test (a) re-encodes the canonical in-memory value and requires **byte
+//! equality** with the committed file, and (b) decodes the committed file
+//! and requires value equality — so the wire format cannot drift in either
+//! direction without this suite failing. Header handling (wrong magic,
+//! future version, truncation, trailing bytes) is pinned against the same
+//! files.
+//!
+//! Regenerating after an *intentional* format change (which must bump
+//! `apg::persist::format::VERSION`):
+//!
+//! ```text
+//! APG_BLESS=1 cargo test --test persist_fixtures
+//! ```
+//!
+//! then commit the rewritten fixtures alongside the version bump.
+
+use std::path::PathBuf;
+
+use apg::core::{AdaptiveConfig, AdaptivePartitioner, StreamCheckpoint, StreamingRunner};
+use apg::graph::{DeltaLog, DynGraph, Graph, UpdateBatch};
+use apg::partition::InitialStrategy;
+use apg::persist::format::{MAGIC_CHECKPOINT, MAGIC_GRAPH, MAGIC_LOG, VERSION};
+use apg::persist::DecodeError;
+use apg::streams::{PowerLawGrowth, StreamSource};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Loads a fixture, regenerating it first when `APG_BLESS=1`.
+fn fixture(name: &str, canonical_bytes: &[u8]) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var_os("APG_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, canonical_bytes).unwrap();
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {path:?} ({e}); run with APG_BLESS=1 to \
+             regenerate after an intentional format change"
+        )
+    })
+}
+
+/// The canonical graph: 6 slots, 4 edges, one tombstone (vertex 2, which
+/// had an edge before it died).
+fn canonical_graph() -> DynGraph {
+    let mut g = DynGraph::with_vertices(6);
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 4);
+    g.add_edge(3, 5);
+    g.add_edge(4, 5);
+    g.remove_vertex(2);
+    g
+}
+
+/// The canonical log: two batches covering every delta variant.
+fn canonical_log() -> DeltaLog {
+    let mut log = DeltaLog::new();
+    let mut b1 = UpdateBatch::new();
+    let a = b1.add_vertex(vec![0, 3]);
+    let b = b1.add_vertex(vec![]);
+    b1.connect_new(a, b);
+    b1.add_edge(1, 4);
+    log.record(b1);
+    let mut b2 = UpdateBatch::new();
+    b2.remove_edge(0, 1);
+    b2.remove_vertex(5);
+    log.record(b2);
+    log
+}
+
+/// The canonical checkpoint: a tiny deterministic power-law run (fixed
+/// seed, parallelism 1 so the encoded config is machine-independent) with
+/// one write-ahead tail batch, `wall_ms` normalised — the timeline's only
+/// nondeterministic field, zeroed so the fixture is byte-stable.
+fn canonical_checkpoint() -> StreamCheckpoint {
+    let base = DynGraph::with_vertices(24);
+    let cfg = AdaptiveConfig::new(2).parallelism(1);
+    let p = AdaptivePartitioner::with_strategy(&base, InitialStrategy::Hash, &cfg, 7);
+    let mut runner = StreamingRunner::new(p)
+        .iterations_per_batch(2)
+        .record_log(true);
+    let mut source = PowerLawGrowth::new(&base, 2, 6, 7);
+    runner.drive(&mut source, 2);
+    let mut ckpt = runner.checkpoint();
+    let batch = source.next_batch().unwrap();
+    runner.ingest(&batch);
+    ckpt.append(batch);
+    for stats in &mut ckpt.timeline {
+        stats.wall_ms = 0.0;
+    }
+    ckpt
+}
+
+#[test]
+fn graph_fixture_is_pinned() {
+    let g = canonical_graph();
+    let bytes = g.to_snapshot_bytes();
+    let golden = fixture("graph_v1.apgg", &bytes);
+    assert_eq!(
+        bytes, golden,
+        "graph snapshot encoding drifted from the committed fixture; if \
+         intentional, bump format::VERSION and re-bless"
+    );
+    let decoded = DynGraph::from_snapshot_bytes(&golden).unwrap();
+    assert_eq!(decoded, g);
+    assert_eq!(decoded.num_vertices(), 6);
+    assert_eq!(decoded.num_live_vertices(), 5);
+    assert!(!decoded.is_vertex(2), "tombstone lost");
+}
+
+#[test]
+fn log_fixture_is_pinned() {
+    let log = canonical_log();
+    let bytes = log.to_segment_bytes();
+    let golden = fixture("log_v1.apgl", &bytes);
+    assert_eq!(
+        bytes, golden,
+        "delta-log encoding drifted from the committed fixture; if \
+         intentional, bump format::VERSION and re-bless"
+    );
+    let decoded = DeltaLog::from_segment_bytes(&golden).unwrap();
+    assert_eq!(decoded, log);
+    // Replays land identically on a fresh population.
+    let mut a = DynGraph::with_vertices(6);
+    let mut b = DynGraph::with_vertices(6);
+    log.replay(&mut a);
+    decoded.replay(&mut b);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn checkpoint_fixture_is_pinned() {
+    let ckpt = canonical_checkpoint();
+    let bytes = ckpt.to_bytes();
+    let golden = fixture("checkpoint_v1.apgc", &bytes);
+    assert_eq!(
+        bytes, golden,
+        "checkpoint encoding drifted from the committed fixture; if \
+         intentional, bump format::VERSION and re-bless"
+    );
+    let decoded = StreamCheckpoint::from_bytes(&golden).unwrap();
+    assert_eq!(decoded, ckpt);
+    // The decoded fixture is a *working* checkpoint, not just bytes.
+    let resumed = StreamingRunner::resume(decoded);
+    assert_eq!(resumed.timeline().len(), 3);
+    resumed.partitioner().audit();
+}
+
+#[test]
+fn fixtures_reject_wrong_magic() {
+    let graph = fixture("graph_v1.apgg", &canonical_graph().to_snapshot_bytes());
+    // A graph file is not a log, a log is not a checkpoint, and so on.
+    assert!(matches!(
+        DeltaLog::from_segment_bytes(&graph).unwrap_err(),
+        DecodeError::BadMagic {
+            expected: MAGIC_LOG,
+            found: MAGIC_GRAPH
+        }
+    ));
+    assert!(matches!(
+        StreamCheckpoint::from_bytes(&graph).unwrap_err(),
+        DecodeError::BadMagic {
+            expected: MAGIC_CHECKPOINT,
+            found: MAGIC_GRAPH
+        }
+    ));
+    // Garbage magic.
+    let mut scribbled = graph.clone();
+    scribbled[..4].copy_from_slice(b"NOPE");
+    assert!(matches!(
+        DynGraph::from_snapshot_bytes(&scribbled).unwrap_err(),
+        DecodeError::BadMagic { found, .. } if &found == b"NOPE"
+    ));
+}
+
+#[test]
+fn fixtures_reject_future_and_zero_versions() {
+    for (name, canonical) in [
+        ("graph_v1.apgg", canonical_graph().to_snapshot_bytes()),
+        ("log_v1.apgl", canonical_log().to_segment_bytes()),
+        ("checkpoint_v1.apgc", canonical_checkpoint().to_bytes()),
+    ] {
+        let golden = fixture(name, &canonical);
+        let mut future = golden.clone();
+        future[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        let err = match name {
+            "graph_v1.apgg" => DynGraph::from_snapshot_bytes(&future).unwrap_err(),
+            "log_v1.apgl" => DeltaLog::from_segment_bytes(&future).unwrap_err(),
+            _ => StreamCheckpoint::from_bytes(&future).unwrap_err(),
+        };
+        assert_eq!(
+            err,
+            DecodeError::UnsupportedVersion {
+                found: VERSION + 1,
+                supported: VERSION
+            },
+            "{name}"
+        );
+
+        let mut zero = golden.clone();
+        zero[4..6].copy_from_slice(&0u16.to_le_bytes());
+        let err = match name {
+            "graph_v1.apgg" => DynGraph::from_snapshot_bytes(&zero).unwrap_err(),
+            "log_v1.apgl" => DeltaLog::from_segment_bytes(&zero).unwrap_err(),
+            _ => StreamCheckpoint::from_bytes(&zero).unwrap_err(),
+        };
+        assert!(
+            matches!(err, DecodeError::UnsupportedVersion { found: 0, .. }),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn fixtures_reject_truncation_at_every_boundary() {
+    let golden = fixture("checkpoint_v1.apgc", &canonical_checkpoint().to_bytes());
+    // Every prefix must fail loudly — EOF or a corruption diagnosis, never
+    // a panic and never a silently-partial value.
+    for cut in 0..golden.len() {
+        let err = StreamCheckpoint::from_bytes(&golden[..cut])
+            .expect_err("a truncated checkpoint decoded successfully");
+        assert!(
+            matches!(
+                err,
+                DecodeError::UnexpectedEof { .. }
+                    | DecodeError::Corrupt(_)
+                    | DecodeError::BadMagic { .. }
+                    | DecodeError::UnsupportedVersion { .. }
+            ),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+    // Trailing garbage is equally fatal.
+    let mut padded = golden.clone();
+    padded.push(0);
+    assert_eq!(
+        StreamCheckpoint::from_bytes(&padded).unwrap_err(),
+        DecodeError::TrailingBytes { remaining: 1 }
+    );
+}

@@ -1,0 +1,238 @@
+//! Crash/resume determinism: a streaming run killed mid-stream and
+//! restarted from `(snapshot, compacted log tail)` must reproduce the
+//! uninterrupted run's [`TimelineStats`] timeline **exactly** (`wall_ms`
+//! aside) — for each of the four `StreamSource` families, at parallelism
+//! 1, 2 and 8.
+//!
+//! The interrupted run exercises the whole durable path: checkpoint at one
+//! batch boundary, write-ahead the following batches into the tail,
+//! compact part of the tail into a fresh snapshot, serialise the
+//! checkpoint to bytes, drop every live object ("the crash"), decode,
+//! fast-forward a freshly reconstructed source to the cursor, resume, and
+//! finish the stream.
+
+use apg::core::{AdaptiveConfig, AdaptivePartitioner, StreamCheckpoint, StreamingRunner};
+use apg::graph::{gen, DynGraph};
+use apg::partition::InitialStrategy;
+use apg::streams::{
+    CdrConfig, CdrStream, ForestFireConfig, ForestFireSource, PowerLawGrowth, RestartableSource,
+    TwitterConfig, TwitterStream,
+};
+
+const SEED: u64 = 41;
+
+fn runner(graph: &DynGraph, parallelism: usize) -> StreamingRunner {
+    let cfg = AdaptiveConfig::new(6).parallelism(parallelism);
+    StreamingRunner::new(AdaptivePartitioner::with_strategy(
+        graph,
+        InitialStrategy::Hash,
+        &cfg,
+        SEED,
+    ))
+    .iterations_per_batch(3)
+    .record_log(true)
+}
+
+/// Runs `total` batches uninterrupted; then reruns with a kill at
+/// `snapshot_at` + `crash_at`, resumes from decoded bytes, and asserts the
+/// two runs are indistinguishable.
+fn check_kill_and_resume<S, F>(
+    name: &str,
+    graph: &DynGraph,
+    make_source: F,
+    parallelism: usize,
+    total: usize,
+    snapshot_at: usize,
+    crash_at: usize,
+) where
+    S: RestartableSource,
+    F: Fn() -> S,
+{
+    assert!(snapshot_at < crash_at && crash_at < total);
+
+    // The uninterrupted reference run.
+    let mut reference = runner(graph, parallelism);
+    let mut source = make_source();
+    assert_eq!(reference.drive(&mut source, total), total);
+
+    // The interrupted run: snapshot early, write-ahead until the crash.
+    let bytes = {
+        let mut r = runner(graph, parallelism);
+        let mut s = make_source();
+        assert_eq!(r.drive(&mut s, snapshot_at), snapshot_at);
+        let mut ckpt = r.checkpoint();
+        for _ in snapshot_at..crash_at {
+            let batch = apg::streams::StreamSource::next_batch(&mut s)
+                .expect("stream ended before the crash point");
+            r.ingest(&batch);
+            ckpt.append(batch);
+        }
+        assert_eq!(ckpt.cursor(), s.cursor(), "cursor must track the source");
+        // Fold part of the write-ahead tail into the snapshot: resume goes
+        // through a genuinely compacted checkpoint, not a fresh one.
+        ckpt.compact((crash_at - snapshot_at) / 2);
+        ckpt.to_bytes()
+        // r, s, ckpt drop here: the crash.
+    };
+
+    // Recovery: decode, rebuild the source, resume, finish the stream.
+    let ckpt = StreamCheckpoint::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("{name}: checkpoint failed to decode: {e}"));
+    let mut s = make_source();
+    s.fast_forward(ckpt.cursor());
+    let mut resumed = StreamingRunner::resume(ckpt);
+    assert_eq!(resumed.timeline().len(), crash_at);
+    assert_eq!(resumed.drive(&mut s, total - crash_at), total - crash_at);
+
+    // Byte-identical observables (TimelineStats equality ignores wall_ms
+    // only; the projection pins every deterministic field literally).
+    assert_eq!(
+        resumed.timeline(),
+        reference.timeline(),
+        "{name}@{parallelism}: timeline diverged after resume"
+    );
+    let project = |r: &StreamingRunner| -> String {
+        r.timeline()
+            .iter()
+            .map(|t| format!("{:?}", t.deterministic_fields()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(project(&resumed), project(&reference));
+    assert_eq!(
+        resumed.partitioner().graph(),
+        reference.partitioner().graph(),
+        "{name}@{parallelism}: graph diverged"
+    );
+    assert_eq!(
+        resumed.partitioner().partitioning(),
+        reference.partitioner().partitioning(),
+        "{name}@{parallelism}: assignment diverged"
+    );
+    assert_eq!(
+        resumed.partitioner().cut_edges(),
+        reference.partitioner().cut_edges()
+    );
+    assert_eq!(resumed.log(), reference.log(), "replay logs diverged");
+    resumed.partitioner().audit();
+
+    // The run must have been busy enough to prove something.
+    let migrations: usize = reference.timeline().iter().map(|t| t.migrations).sum();
+    assert!(migrations > 0, "{name}: too quiet to prove anything");
+}
+
+#[test]
+fn cdr_stream_survives_kill_and_resume() {
+    let config = CdrConfig {
+        initial_subscribers: 3_000,
+        ..CdrConfig::default()
+    };
+    let graph = DynGraph::with_vertices(config.initial_subscribers);
+    for parallelism in [1usize, 2, 8] {
+        check_kill_and_resume(
+            "cdr",
+            &graph,
+            || CdrStream::new(config, SEED),
+            parallelism,
+            16,
+            5,
+            11,
+        );
+    }
+}
+
+#[test]
+fn twitter_stream_survives_kill_and_resume() {
+    let config = TwitterConfig {
+        initial_users: 2_000,
+        ..TwitterConfig::default()
+    };
+    let graph = DynGraph::with_vertices(config.initial_users);
+    for parallelism in [1usize, 2, 8] {
+        check_kill_and_resume(
+            "twitter",
+            &graph,
+            || TwitterStream::new(config, SEED).with_clock(17.0, 600.0),
+            parallelism,
+            9,
+            3,
+            6,
+        );
+    }
+}
+
+#[test]
+fn forest_fire_burst_survives_kill_and_resume() {
+    let base = DynGraph::from(&gen::holme_kim(4_000, 5, 0.1, 9));
+    let cfg = ForestFireConfig::burst(400, SEED);
+    for parallelism in [1usize, 2, 8] {
+        check_kill_and_resume(
+            "forest-fire",
+            &base,
+            || ForestFireSource::new(&base, &cfg, 50),
+            parallelism,
+            8,
+            2,
+            5,
+        );
+    }
+}
+
+#[test]
+fn power_law_growth_survives_kill_and_resume() {
+    let base = DynGraph::from(&gen::holme_kim(3_000, 5, 0.1, 9));
+    for parallelism in [1usize, 2, 8] {
+        check_kill_and_resume(
+            "powerlaw-growth",
+            &base,
+            || PowerLawGrowth::new(&base, 4, 150, SEED),
+            parallelism,
+            8,
+            3,
+            6,
+        );
+    }
+}
+
+/// The checkpoint file is the *only* carrier of state: resuming it in a
+/// fresh "process" (everything reconstructed from bytes and constructor
+/// arguments) still matches — and compaction depth is immaterial.
+#[test]
+fn compaction_depth_does_not_change_recovery() {
+    let config = CdrConfig {
+        initial_subscribers: 2_000,
+        ..CdrConfig::default()
+    };
+    let graph = DynGraph::with_vertices(config.initial_subscribers);
+
+    let base_ckpt = {
+        let mut r = runner(&graph, 2);
+        let mut s = CdrStream::new(config, SEED);
+        r.drive(&mut s, 4);
+        let mut ckpt = r.checkpoint();
+        for _ in 0..6 {
+            let batch = apg::streams::StreamSource::next_batch(&mut s).unwrap();
+            r.ingest(&batch);
+            ckpt.append(batch);
+        }
+        ckpt
+    };
+
+    let mut outcomes = Vec::new();
+    for depth in [0usize, 2, 6] {
+        let mut ckpt = StreamCheckpoint::from_bytes(&base_ckpt.to_bytes()).unwrap();
+        ckpt.compact(depth);
+        assert_eq!(ckpt.cursor(), base_ckpt.cursor());
+        let mut r = StreamingRunner::resume(ckpt);
+        let mut s = CdrStream::new(config, SEED);
+        s.fast_forward(base_ckpt.cursor());
+        r.drive(&mut s, 3);
+        outcomes.push((
+            r.timeline().to_vec(),
+            r.partitioner().cut_edges(),
+            r.partitioner().partitioning().clone(),
+        ));
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(outcomes[0], outcomes[2]);
+}

@@ -4,12 +4,38 @@
 //! [`proptest!`] macro (with `#![proptest_config(..)]`), [`Strategy`] with
 //! `prop_map`/`prop_flat_map`, range and tuple strategies,
 //! [`collection::vec`], and `prop_assert!`/`prop_assert_eq!` — driven by a
-//! deterministic seeded RNG. Differences from the real crate: no shrinking
-//! (a failure reports the raw generated case via the assertion message) and
-//! no persisted failure seeds. Swap the workspace `path` dependency for
-//! registry proptest to get both back; the test sources need no changes.
+//! deterministic seeded RNG, **with failure shrinking**: when a case fails,
+//! the harness minimises it by binary search before reporting.
+//!
+//! # Shrinking model
+//!
+//! Like the real crate, generation produces a [`ValueTree`] rather than a
+//! bare value: the tree remembers how the value was built and can propose
+//! progressively simpler variants. The harness drives the tree with the
+//! two-call protocol —
+//!
+//! * [`ValueTree::simplify`] after a **failing** run proposes a simpler
+//!   candidate,
+//! * [`ValueTree::complicate`] after a **passing** run backs off towards
+//!   the last failure —
+//!
+//! so numeric ranges bisect towards their lower bound, vectors first
+//! bisect their length and then minimise each element, `prop_flat_map`
+//! shrinks its source (regenerating the dependent value deterministically)
+//! before shrinking the dependent value itself. The minimal failing input
+//! is printed with the panic, and [`shrink_failure`] exposes the engine so
+//! tests can assert minimisation programmatically.
+//!
+//! Remaining differences from the real crate: no persisted failure seeds
+//! and no `complicate`-time caching, and float ranges shrink by bounded
+//! bisection rather than exhaustively. Swap the workspace `path`
+//! dependency for registry proptest to get the full machinery; the test
+//! sources need no changes.
 
+use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 #[doc(hidden)]
 pub mod __rt {
@@ -18,37 +44,74 @@ pub mod __rt {
 }
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Run-time configuration for a `proptest!` block.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases each test runs.
     pub cases: u32,
+    /// Upper bound on shrink steps (candidate re-runs) per failure.
+    pub max_shrink_iters: u32,
 }
 
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 4096,
+        }
     }
 }
 
-/// A generator of random values; the stub has generation only, no shrinking.
-pub trait Strategy {
+// ---------------------------------------------------------------------------
+// ValueTree: a generated value plus its shrink search state.
+// ---------------------------------------------------------------------------
+
+/// A generated value together with the state needed to minimise it.
+///
+/// Protocol (driven by [`shrink_failure`]): after testing
+/// [`ValueTree::current`], call [`ValueTree::simplify`] if the test
+/// **failed** and [`ValueTree::complicate`] if it **passed**. Either call
+/// returns `true` when a new candidate is available at `current()`, and
+/// `false` when the search is exhausted — at which point `current()` rests
+/// at the simplest variant still known to fail.
+pub trait ValueTree {
     type Value;
 
-    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    /// The candidate value.
+    fn current(&self) -> Self::Value;
+
+    /// Last candidate failed: propose a simpler one. `false` = exhausted.
+    fn simplify(&mut self) -> bool;
+
+    /// Last candidate passed: back off towards the last known failure.
+    /// `false` = exhausted.
+    fn complicate(&mut self) -> bool;
+}
+
+/// A generator of random values, shrinkable via the [`ValueTree`] it
+/// produces.
+pub trait Strategy {
+    type Value;
+    type Tree: ValueTree<Value = Self::Value>;
+
+    /// Draws a value (wrapped in its shrink tree) from `rng`.
+    fn new_tree(&self, rng: &mut StdRng) -> Self::Tree;
 
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
-        F: Fn(Self::Value) -> O,
+        F: Fn(Self::Value) -> O + Clone,
     {
         Map { inner: self, f }
     }
@@ -57,22 +120,182 @@ pub trait Strategy {
     where
         Self: Sized,
         S: Strategy,
-        F: Fn(Self::Value) -> S,
+        F: Fn(Self::Value) -> S + Clone,
     {
         FlatMap { inner: self, f }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Numeric ranges: binary search towards the range start.
+// ---------------------------------------------------------------------------
+
+/// Shrink state for integer ranges: bisects `[range.start, failing)`,
+/// converging on the smallest failing value.
+#[derive(Debug, Clone)]
+pub struct BisectTree<T> {
+    /// Lower bound of the untested window (everything below passed or is
+    /// out of range).
+    lo: T,
+    /// Smallest value known to fail.
+    hi: T,
+    /// Candidate under test.
+    curr: T,
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            type Tree = BisectTree<$t>;
+
+            fn new_tree(&self, rng: &mut StdRng) -> BisectTree<$t> {
+                let v = rng.gen_range(self.clone());
+                BisectTree { lo: self.start, hi: v, curr: v }
+            }
+        }
+
+        impl BisectTree<$t> {
+            /// `floor((lo + hi) / 2)` without intermediate overflow:
+            /// `hi - lo` blows up for signed ranges wider than half the
+            /// domain (e.g. `i64::MIN..i64::MAX`), so average the shared
+            /// bits and the halved differing bits instead.
+            fn midpoint(lo: $t, hi: $t) -> $t {
+                (lo & hi) + ((lo ^ hi) >> 1)
+            }
+        }
+
+        impl ValueTree for BisectTree<$t> {
+            type Value = $t;
+
+            fn current(&self) -> $t {
+                self.curr
+            }
+
+            fn simplify(&mut self) -> bool {
+                self.hi = self.curr;
+                if self.lo >= self.hi {
+                    return false;
+                }
+                self.curr = Self::midpoint(self.lo, self.hi);
+                true
+            }
+
+            fn complicate(&mut self) -> bool {
+                if self.curr >= self.hi {
+                    return false;
+                }
+                self.lo = self.curr + 1;
+                if self.lo >= self.hi {
+                    self.curr = self.hi;
+                    return false;
+                }
+                self.curr = Self::midpoint(self.lo, self.hi);
+                true
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Shrink state for float ranges: bounded bisection towards the range
+/// start (floats never bottom out exactly, so the step budget caps it).
+#[derive(Debug, Clone)]
+pub struct FloatTree<T> {
+    lo: T,
+    hi: T,
+    curr: T,
+    steps_left: u32,
+}
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            type Tree = FloatTree<$t>;
+
+            fn new_tree(&self, rng: &mut StdRng) -> FloatTree<$t> {
+                let v = rng.gen_range(self.clone());
+                FloatTree { lo: self.start, hi: v, curr: v, steps_left: 32 }
+            }
+        }
+
+        impl ValueTree for FloatTree<$t> {
+            type Value = $t;
+
+            fn current(&self) -> $t {
+                self.curr
+            }
+
+            fn simplify(&mut self) -> bool {
+                self.hi = self.curr;
+                if self.steps_left == 0 || self.hi <= self.lo {
+                    return false;
+                }
+                self.steps_left -= 1;
+                self.curr = self.lo + (self.hi - self.lo) / 2.0;
+                true
+            }
+
+            fn complicate(&mut self) -> bool {
+                if self.steps_left == 0 || self.curr >= self.hi {
+                    // Rest on the simplest variant still known to fail, as
+                    // the ValueTree contract requires: on the budget-
+                    // exhaustion path `curr` is a candidate that *passed*.
+                    self.curr = self.hi;
+                    return false;
+                }
+                self.steps_left -= 1;
+                self.lo = self.curr;
+                self.curr = self.lo + (self.hi - self.lo) / 2.0;
+                true
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Combinators: map, flat_map, tuples.
+// ---------------------------------------------------------------------------
 
 pub struct Map<S, F> {
     inner: S,
     f: F,
 }
 
-impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+pub struct MapTree<T, F> {
+    inner: T,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O + Clone> Strategy for Map<S, F> {
+    type Value = O;
+    type Tree = MapTree<S::Tree, F>;
+
+    fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
+        MapTree {
+            inner: self.inner.new_tree(rng),
+            f: self.f.clone(),
+        }
+    }
+}
+
+impl<T: ValueTree, O, F: Fn(T::Value) -> O> ValueTree for MapTree<T, F> {
     type Value = O;
 
-    fn generate(&self, rng: &mut StdRng) -> O {
-        (self.f)(self.inner.generate(rng))
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
     }
 }
 
@@ -81,50 +304,167 @@ pub struct FlatMap<S, F> {
     f: F,
 }
 
-impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
-    type Value = T::Value;
+/// Tree for [`Strategy::prop_flat_map`]: shrinks the *source* first (each
+/// step deterministically regenerates the dependent tree from a saved RNG
+/// snapshot), then shrinks the dependent value.
+pub struct FlatMapTree<S: Strategy, T: Strategy, F> {
+    source: S::Tree,
+    f: F,
+    /// RNG snapshot from generation time: cloned for every regeneration so
+    /// equal source values always map to equal dependent values.
+    rng: StdRng,
+    inner: T::Tree,
+    shrinking_inner: bool,
+}
 
-    fn generate(&self, rng: &mut StdRng) -> T::Value {
-        (self.f)(self.inner.generate(rng)).generate(rng)
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T + Clone,
+{
+    type Value = T::Value;
+    type Tree = FlatMapTree<S, T, F>;
+
+    fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
+        let source = self.inner.new_tree(rng);
+        // Split off an independent, reusable snapshot for regeneration.
+        let snapshot = StdRng::seed_from_u64(rng.gen());
+        let inner = (self.f)(source.current()).new_tree(&mut snapshot.clone());
+        FlatMapTree {
+            source,
+            f: self.f.clone(),
+            rng: snapshot,
+            inner,
+            shrinking_inner: false,
+        }
     }
 }
 
-macro_rules! impl_range_strategy {
-    ($($t:ty),*) => {$(
-        impl Strategy for Range<$t> {
-            type Value = $t;
-
-            fn generate(&self, rng: &mut StdRng) -> $t {
-                rng.gen_range(self.clone())
-            }
-        }
-    )*};
+impl<S, T, F> FlatMapTree<S, T, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T + Clone,
+{
+    fn regenerate(&mut self) {
+        self.inner = (self.f)(self.source.current()).new_tree(&mut self.rng.clone());
+    }
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl<S, T, F> ValueTree for FlatMapTree<S, T, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T + Clone,
+{
+    type Value = T::Value;
+
+    fn current(&self) -> T::Value {
+        self.inner.current()
+    }
+
+    fn simplify(&mut self) -> bool {
+        if !self.shrinking_inner {
+            if self.source.simplify() {
+                self.regenerate();
+                return true;
+            }
+            self.shrinking_inner = true;
+        }
+        self.inner.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        if !self.shrinking_inner {
+            if self.source.complicate() {
+                self.regenerate();
+                return true;
+            }
+            // The source settled back on its minimal failing value; its
+            // dependent value regenerates to the variant that failed with
+            // it. Offer that variant as the next candidate (it is known to
+            // fail) so the engine transitions into shrinking the dependent
+            // value — calling `complicate` on the fresh inner tree instead
+            // would return false and abort the whole shrink.
+            self.shrinking_inner = true;
+            self.regenerate();
+            return true;
+        }
+        self.inner.complicate()
+    }
+}
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
+    ($( ($($name:ident . $idx:tt),+) ),+ $(,)?) => {$(
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
+            type Tree = TupleTree<($($name::Tree,)+)>;
 
-            #[allow(non_snake_case)]
-            fn generate(&self, rng: &mut StdRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+            fn new_tree(&self, rng: &mut StdRng) -> Self::Tree {
+                TupleTree { trees: ($(self.$idx.new_tree(rng),)+), idx: 0 }
             }
         }
-    };
+
+        impl<$($name: ValueTree),+> ValueTree for TupleTree<($($name,)+)> {
+            type Value = ($($name::Value,)+);
+
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+
+            fn simplify(&mut self) -> bool {
+                // Shrink components left to right; when one exhausts (its
+                // current resting on its simplest failing variant), move on.
+                loop {
+                    let more = match self.idx {
+                        $($idx => self.trees.$idx.simplify(),)+
+                        _ => return false,
+                    };
+                    if more {
+                        return true;
+                    }
+                    self.idx += 1;
+                }
+            }
+
+            fn complicate(&mut self) -> bool {
+                let more = match self.idx {
+                    $($idx => self.trees.$idx.complicate(),)+
+                    _ => return false,
+                };
+                if more {
+                    return true;
+                }
+                // Component settled; continue simplifying the next one.
+                self.idx += 1;
+                self.simplify()
+            }
+        }
+    )+};
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
+/// Tree for tuple strategies: shrinks components sequentially.
+pub struct TupleTree<T> {
+    trees: T,
+    idx: usize,
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, G.5),
+);
+
+// ---------------------------------------------------------------------------
+// Collections.
+// ---------------------------------------------------------------------------
 
 pub mod collection {
-    use super::{Range, StdRng, Strategy};
-    use rand::Rng;
+    use super::{Range, Rng, StdRng, Strategy, ValueTree};
 
     pub struct VecStrategy<S> {
         element: S,
@@ -138,21 +478,235 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
+        type Tree = VecTree<S::Tree>;
 
-        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        fn new_tree(&self, rng: &mut StdRng) -> VecTree<S::Tree> {
             let len = rng.gen_range(self.size.clone());
-            (0..len).map(|_| self.element.generate(rng)).collect()
+            let elems: Vec<S::Tree> = (0..len).map(|_| self.element.new_tree(rng)).collect();
+            VecTree {
+                elems,
+                len_lo: self.size.start,
+                len_hi: len,
+                curr_len: len,
+                phase: Phase::Len,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Phase {
+        /// Bisecting the length (the value is the prefix `..curr_len`).
+        Len,
+        /// Minimising element `i` of the settled-length prefix.
+        Elem(usize),
+    }
+
+    /// Tree for [`vec()`](crate::collection::vec): first bisects the length
+    /// towards the minimum (dropping a suffix is the cheapest big
+    /// simplification), then
+    /// minimises the surviving elements one at a time.
+    pub struct VecTree<T> {
+        elems: Vec<T>,
+        len_lo: usize,
+        /// Smallest length known to fail.
+        len_hi: usize,
+        curr_len: usize,
+        phase: Phase,
+    }
+
+    impl<T: ValueTree> VecTree<T> {
+        /// Enters element phase at index `i`, skipping exhausted elements.
+        fn simplify_elems_from(&mut self, mut i: usize) -> bool {
+            while i < self.curr_len {
+                self.phase = Phase::Elem(i);
+                if self.elems[i].simplify() {
+                    return true;
+                }
+                i += 1;
+            }
+            self.phase = Phase::Elem(self.curr_len);
+            false
+        }
+    }
+
+    impl<T: ValueTree> ValueTree for VecTree<T> {
+        type Value = Vec<T::Value>;
+
+        fn current(&self) -> Vec<T::Value> {
+            self.elems[..self.curr_len]
+                .iter()
+                .map(ValueTree::current)
+                .collect()
+        }
+
+        fn simplify(&mut self) -> bool {
+            match self.phase {
+                Phase::Len => {
+                    self.len_hi = self.curr_len;
+                    if self.len_lo >= self.len_hi {
+                        return self.simplify_elems_from(0);
+                    }
+                    self.curr_len = self.len_lo + (self.len_hi - self.len_lo) / 2;
+                    true
+                }
+                Phase::Elem(i) => {
+                    if self.elems[i].simplify() {
+                        return true;
+                    }
+                    self.simplify_elems_from(i + 1)
+                }
+            }
+        }
+
+        fn complicate(&mut self) -> bool {
+            match self.phase {
+                Phase::Len => {
+                    if self.curr_len >= self.len_hi {
+                        return false;
+                    }
+                    self.len_lo = self.curr_len + 1;
+                    if self.len_lo >= self.len_hi {
+                        // Length settled at the smallest failing value;
+                        // move on to the elements.
+                        self.curr_len = self.len_hi;
+                        return self.simplify_elems_from(0);
+                    }
+                    self.curr_len = self.len_lo + (self.len_hi - self.len_lo) / 2;
+                    true
+                }
+                Phase::Elem(i) => {
+                    if self.elems[i].complicate() {
+                        return true;
+                    }
+                    self.simplify_elems_from(i + 1)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shrinking engine and the case runner.
+// ---------------------------------------------------------------------------
+
+/// Minimises a failing case.
+///
+/// Precondition: `fails(&tree.current())` was observed `true`. Drives the
+/// [`ValueTree`] protocol — `simplify` after failures, `complicate` after
+/// passes — re-running `fails` on every candidate, for at most `budget`
+/// runs. Returns the simplest failing value observed and the number of
+/// candidates tried.
+///
+/// Public so tests can assert minimisation behaviour directly (see the
+/// codec round-trip shrinking tests); the [`proptest!`] harness uses it
+/// for every failure.
+pub fn shrink_failure<T: ValueTree>(
+    tree: &mut T,
+    budget: u32,
+    mut fails: impl FnMut(&T::Value) -> bool,
+) -> (T::Value, u32) {
+    let mut best = tree.current();
+    let mut last_failed = true;
+    let mut steps = 0u32;
+    while steps < budget {
+        let more = if last_failed {
+            tree.simplify()
+        } else {
+            tree.complicate()
+        };
+        if !more {
+            break;
+        }
+        steps += 1;
+        let candidate = tree.current();
+        last_failed = fails(&candidate);
+        if last_failed {
+            best = candidate;
+        }
+    }
+    (best, steps)
+}
+
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that stays silent while this thread is
+/// inside a caught proptest case — shrinking re-runs failing bodies many
+/// times and the default hook would print a backtrace banner for each.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `config.cases` random cases of `test` over `strategy`, shrinking
+/// and reporting the first failure. This is the engine behind the
+/// [`proptest!`] macro; it is public for harness-level tests.
+///
+/// # Panics
+///
+/// Panics (after minimisation) if any case fails.
+pub fn run_proptest<S, F>(config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug + Clone,
+    F: Fn(S::Value),
+{
+    install_quiet_hook();
+    // Fixed seed: deterministic in CI, varied per case by RNG state.
+    let mut rng = StdRng::seed_from_u64(0x05ee_d0fc_a5e5);
+    for case in 0..config.cases {
+        let mut tree = strategy.new_tree(&mut rng);
+        let run = |value: S::Value| -> Result<(), String> {
+            QUIET_PANICS.with(|q| q.set(true));
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            QUIET_PANICS.with(|q| q.set(false));
+            outcome.map_err(|payload| panic_message(payload.as_ref()))
+        };
+        if let Err(original) = run(tree.current()) {
+            let mut minimal_msg = original.clone();
+            let (minimal, steps) = shrink_failure(&mut tree, config.max_shrink_iters, |value| {
+                match run(value.clone()) {
+                    Err(msg) => {
+                        minimal_msg = msg;
+                        true
+                    }
+                    Ok(()) => false,
+                }
+            });
+            panic!(
+                "proptest case {case} failed; minimal failing input \
+                 (after {steps} shrink steps):\n{minimal:#?}\n\
+                 minimal failure: {minimal_msg}\noriginal failure: {original}"
+            );
         }
     }
 }
 
 pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{ProptestConfig, Strategy, ValueTree};
 }
 
-/// `assert!` under proptest's name; the generated case is not echoed (no
-/// shrinking machinery), so put identifying detail in the message.
+/// `assert!` under proptest's name; failures abort the case and trigger
+/// shrinking.
 #[macro_export]
 macro_rules! prop_assert {
     ($($args:tt)*) => { assert!($($args)*) };
@@ -169,7 +723,8 @@ macro_rules! prop_assert_ne {
 }
 
 /// The test-definition macro: each `fn name(binder in strategy, ...) { .. }`
-/// becomes a `#[test]` that runs `config.cases` random cases.
+/// becomes a `#[test]` that runs `config.cases` random cases and shrinks
+/// any failure to a minimal counterexample before reporting it.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -192,14 +747,7 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::ProptestConfig = $cfg;
-            // Fixed seed: deterministic in CI, varied per case by RNG state.
-            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
-                0x5eed_0f_ca5e5u64,
-            );
-            for __case in 0..__config.cases {
-                $( let $binder = $crate::Strategy::generate(&($strat), &mut __rng); )+
-                $body
-            }
+            $crate::run_proptest(&__config, ($($strat,)+), move |($($binder,)+)| $body);
         }
         $crate::__proptest_tests! { ($cfg) $($rest)* }
     };
@@ -207,7 +755,7 @@ macro_rules! __proptest_tests {
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
+    use super::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -229,5 +777,126 @@ mod tests {
             let (n, k) = nk;
             prop_assert!(k < n, "flat-mapped k must depend on n");
         }
+    }
+
+    fn shrink_with<S: Strategy>(
+        strategy: S,
+        fails: impl FnMut(&S::Value) -> bool + Copy,
+        seed: u64,
+    ) -> Option<(S::Value, u32)> {
+        let mut fails = fails;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            let mut tree = strategy.new_tree(&mut rng);
+            if fails(&tree.current()) {
+                return Some(shrink_failure(&mut tree, 4096, fails));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn integer_failures_shrink_to_the_boundary() {
+        let (minimal, _) = shrink_with(0u64..100_000, |&v| v >= 777, 1).expect("failure found");
+        assert_eq!(minimal, 777, "binary search must land on the threshold");
+    }
+
+    #[test]
+    fn integer_shrink_respects_range_start() {
+        // Everything fails: the minimum of the range itself is failing.
+        let (minimal, _) = shrink_with(5u32..1000, |_| true, 2).expect("failure found");
+        assert_eq!(minimal, 5);
+    }
+
+    #[test]
+    fn vec_failures_shrink_length_and_elements() {
+        let strategy = collection::vec(0u32..100, 0..30);
+        let (minimal, _) =
+            shrink_with(strategy, |xs| xs.iter().sum::<u32>() >= 5, 3).expect("failure found");
+        // Length bisected to the fewest elements able to carry the sum,
+        // then each element bisected to its pointwise minimum: total == 5.
+        assert_eq!(minimal.iter().sum::<u32>(), 5, "minimal was {minimal:?}");
+        assert!(!minimal.contains(&0), "dead weight left in {minimal:?}");
+    }
+
+    #[test]
+    fn flat_map_shrinks_the_source_first() {
+        let strategy =
+            (0usize..10_000).prop_flat_map(|n| (0usize..n + 1).prop_map(move |k| (n, k)));
+        let (minimal, _) = shrink_with(strategy, |&(n, _)| n >= 17, 4).expect("failure found");
+        assert_eq!(minimal.0, 17, "source must bisect to its threshold");
+    }
+
+    #[test]
+    fn wide_signed_ranges_shrink_without_overflow() {
+        // `hi - lo` overflows i64 for ranges wider than half the domain;
+        // the midpoint must be computed without that intermediate.
+        let (minimal, _) = shrink_with(i64::MIN..i64::MAX, |&v| v >= 1234, 7)
+            .expect("a failing (positive) value should generate within 256 draws");
+        assert_eq!(minimal, 1234);
+    }
+
+    #[test]
+    fn flat_map_shrinks_the_dependent_value_too() {
+        // After the source settles on its minimal failing value via the
+        // complicate path, shrinking must proceed *inside* the dependent
+        // value rather than aborting with it unminimised.
+        let strategy =
+            (0usize..10_000).prop_flat_map(|n| (0usize..n + 1).prop_map(move |k| (n, k)));
+        let (minimal, _) =
+            shrink_with(strategy, |&(n, k)| n >= 17 && k >= 3, 8).expect("failure found");
+        assert!(minimal.0 >= 17, "source not shrunk: {minimal:?}");
+        assert_eq!(minimal.1, 3, "dependent value not shrunk: {minimal:?}");
+    }
+
+    #[test]
+    fn float_trees_rest_on_a_failing_value_when_the_budget_runs_out() {
+        // Only the originally generated value fails, so every candidate
+        // passes and the step budget exhausts on the complicate path; the
+        // tree must still rest on the known-failing value afterwards.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tree = (100.0f64..1000.0).new_tree(&mut rng);
+        let threshold = tree.current();
+        let fails = move |v: &f64| *v >= threshold;
+        let (best, _) = shrink_failure(&mut tree, 4096, fails);
+        assert!(fails(&best));
+        assert!(
+            fails(&tree.current()),
+            "tree rested on a passing value: {} < {threshold}",
+            tree.current()
+        );
+    }
+
+    #[test]
+    fn tuples_shrink_every_component() {
+        let (minimal, _) = shrink_with((0u32..1000, 0u32..1000), |&(a, b)| a >= 3 && b >= 40, 5)
+            .expect("failure found");
+        assert_eq!(minimal, (3, 40));
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let strategy = 0u64..u64::MAX;
+        loop {
+            let mut tree = strategy.new_tree(&mut rng);
+            if tree.current() > 1_000_000 {
+                let (_, steps) = shrink_failure(&mut tree, 7, |&v| v > 1_000_000);
+                assert!(steps <= 7);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn passing_properties_never_shrink() {
+        run_proptest(
+            &ProptestConfig::with_cases(64),
+            (0u8..10, collection::vec(0u8..10, 0..8)),
+            |(n, xs)| {
+                assert!(n < 10);
+                assert!(xs.len() < 8);
+            },
+        );
     }
 }
