@@ -47,6 +47,9 @@ fn main() {
     banner("Thread scaling");
     scaling::print(&scaling::run(args.scale, args.reps(), args.seed));
 
+    banner("Active-set sweep");
+    sweep::print(&sweep::run(args.scale, args.seed));
+
     banner("Streaming ingestion");
     streaming::print(&streaming::run(args.scale, args.reps(), args.seed));
 

@@ -10,6 +10,7 @@ pub mod fig9;
 pub mod persist;
 pub mod scaling;
 pub mod streaming;
+pub mod sweep;
 pub mod table1;
 
 use apg_graph::CsrGraph;

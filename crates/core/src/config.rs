@@ -103,10 +103,19 @@ pub struct AdaptiveConfig {
     /// cores; `1` runs inline on the caller's thread with no spawn).
     ///
     /// The sweep is sharded deterministically by vertex range with one RNG
-    /// stream per shard (`apg-exec`), so for a fixed seed the migration
-    /// history is **identical at every parallelism level** — this knob
-    /// trades wall-clock only, never results.
+    /// draw sequence per vertex (`apg-exec`), so for a fixed seed the
+    /// migration history is **identical at every parallelism level** — this
+    /// knob trades wall-clock only, never results.
     pub parallelism: usize,
+    /// Diagnostic/test hook: force the decision sweep to evaluate **every**
+    /// live vertex instead of only the active set. Because randomness is
+    /// keyed per `(seed, vertex, iteration)` and skipped vertices provably
+    /// decide *Stay*, both modes produce identical migration histories —
+    /// the exhaustive mode exists so tests and benches can pin exactly
+    /// that. Transient: deliberately not part of the persisted
+    /// configuration (decoded states always get the default `false`).
+    #[doc(hidden)]
+    pub sweep_exhaustive: bool,
 }
 
 impl AdaptiveConfig {
@@ -129,6 +138,7 @@ impl AdaptiveConfig {
             balance_edges: false,
             count_self: false,
             parallelism: apg_exec::available_parallelism(),
+            sweep_exhaustive: false,
         }
     }
 
@@ -202,6 +212,16 @@ impl AdaptiveConfig {
     pub fn parallelism(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
         self.parallelism = threads;
+        self
+    }
+
+    /// Forces the exhaustive (every-live-vertex) decision sweep; see
+    /// [`AdaptiveConfig::sweep_exhaustive`]. Results are identical either
+    /// way — this only trades away the active-set skip, for tests and
+    /// benches that compare the two.
+    #[doc(hidden)]
+    pub fn sweep_exhaustive(mut self, yes: bool) -> Self {
+        self.sweep_exhaustive = yes;
         self
     }
 

@@ -47,7 +47,7 @@ pub mod streaming;
 
 pub use candidates::{DecisionKernel, MigrationDecision};
 pub use config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
-pub use partitioner::{AdaptivePartitioner, IterationStats};
+pub use partitioner::{AdaptivePartitioner, IterationStats, SweepProfile};
 pub use persist::{PartitionerState, StreamCheckpoint};
 pub use quota::QuotaTable;
 pub use runner::ConvergenceReport;

@@ -1,9 +1,11 @@
 //! The adaptive iterative vertex-migration partitioner.
 
+use std::time::Instant;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use apg_exec::{fanout, merge_in_order, stream_rng, ShardPlan};
+use apg_exec::{fanout, vertex_rng, ActiveSet, ShardPlan};
 use apg_graph::delta::DeltaTarget;
 use apg_graph::{ApplyReport, DynGraph, Graph, UpdateBatch, VertexId};
 use apg_partition::{
@@ -46,6 +48,34 @@ impl IterationStats {
     }
 }
 
+/// Where one iteration spent its effort — phase wall-clock plus how much
+/// work the active-set sweep actually scheduled. Returned by
+/// [`AdaptivePartitioner::iterate_profiled`]; everything here is a
+/// measurement or a sweep-internal count, deliberately **not** part of
+/// [`IterationStats`] (whose equality pins deterministic history, which
+/// must not depend on whether the active-set skip was enabled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepProfile {
+    /// Active slots when the iteration started.
+    pub active_before: usize,
+    /// Active slots when the iteration finished.
+    pub active_after: usize,
+    /// Vertices the decision phase visited (all live vertices in
+    /// exhaustive mode, the live active ones otherwise).
+    pub visited: usize,
+    /// Shards the fan-out scheduled (shards with no active slot are
+    /// skipped outright in active-set mode).
+    pub shards_swept: usize,
+    /// Total shards in the iteration's plan.
+    pub num_shards: usize,
+    /// Wall-clock of the parallel decision phase, milliseconds.
+    pub decide_ms: f64,
+    /// Wall-clock of the quota-admission merge, milliseconds.
+    pub merge_ms: f64,
+    /// Wall-clock of the move-application phase, milliseconds.
+    pub apply_ms: f64,
+}
+
 /// How capacities are maintained as the graph evolves.
 #[derive(Debug, Clone)]
 enum CapacityMode {
@@ -70,14 +100,47 @@ enum CapacityMode {
 /// Each iteration's decision phase runs on up to
 /// [`AdaptiveConfig::parallelism`] threads: the vertex-slot range is cut
 /// into fixed-size shards (`apg-exec`), every shard evaluates its vertices
-/// with a private [`DecisionKernel`] and an RNG stream derived from
-/// `(seed, shard, iteration)`, all against the **frozen snapshot** of the
-/// graph and assignment taken at the start of the iteration (the `&self`
-/// borrow guarantees no mutation can interleave). Quota admission and the
-/// actual moves happen afterwards in a single-threaded merge, in ascending
-/// vertex order. Because nothing random or order-dependent is tied to a
-/// thread, the migration history for a fixed seed is identical at every
-/// parallelism level.
+/// with a private [`DecisionKernel`], all against the **frozen snapshot**
+/// of the graph and assignment taken at the start of the iteration (the
+/// `&self` borrow guarantees no mutation can interleave). Quota admission
+/// and the actual moves happen afterwards in a single-threaded merge, in
+/// ascending vertex order. Every random draw a vertex consumes — its
+/// willingness roll, its tie-breaks — comes from a private RNG keyed by
+/// `(seed, vertex, iteration)`, so no draw depends on which other vertices
+/// were evaluated, in what grouping, or on what thread: the migration
+/// history for a fixed seed is identical at every parallelism level.
+///
+/// # The active-set sweep
+///
+/// The decision rule is deterministic whenever it says *Stay*: the current
+/// partition wins every tie, so randomness only ever picks *which other*
+/// partition to chase. A vertex that decided Stay therefore keeps deciding
+/// Stay — on every future iteration, under every RNG outcome — until
+/// something in its view changes: a neighbour's label, its own label, or
+/// its incident edges. The partitioner exploits this with an [`ActiveSet`]:
+/// a vertex is active iff it has not yet been evaluated to a Stay since it
+/// was last *dirtied*, and the decision phase visits **only active
+/// vertices** (whole shards with no active slot are skipped).
+///
+/// Evaluating a vertex that decides Stay retires it; a vertex that
+/// proposes a migration stays active (its tie-break re-rolls each round,
+/// and a quota-blocked proposal must be re-made). Migrations re-dirty the
+/// migrant and its whole neighbourhood (every neighbour sees the label
+/// change), and the mutation hooks re-dirty exactly the vertices whose
+/// incident-edge multiset changed: an edge add/remove marks its two
+/// endpoints, a vertex removal marks every former neighbour, an insertion
+/// marks the newcomer — so streaming churn reactivates exactly the
+/// region it perturbed. Note that *cut-incident* is deliberately **not**
+/// the activity criterion: on a high-cut power-law graph nearly every
+/// vertex touches the cut, yet at convergence they all stably decide Stay
+/// — stay-stability is what lets converged iterations cost near zero
+/// instead of `O(|V|)`.
+///
+/// Because per-vertex RNG keying makes skipping exact, the history is
+/// *identical* to an exhaustive sweep's
+/// ([`AdaptiveConfig::sweep_exhaustive`] pins this); a converged, quiet
+/// partitioner iterates in `O(shards)` bookkeeping, and a streaming one
+/// pays per batch in proportion to the region the batch dirtied.
 ///
 /// # Example
 ///
@@ -107,6 +170,15 @@ pub struct AdaptivePartitioner {
     iteration: usize,
     quiet_streak: usize,
     pending: Vec<(VertexId, PartitionId)>,
+    /// Which vertex slots the decision sweep still needs to visit; see the
+    /// type-level docs. Not persisted: restore conservatively re-marks all
+    /// live vertices (skipped ones would have decided *Stay* anyway).
+    active: ActiveSet,
+    /// Largest partition size, tracked incrementally; `max_stale` flags
+    /// that the current maximum may have shrunk (the argmax partition lost
+    /// a vertex) and must be recomputed on next read.
+    max_live: usize,
+    max_stale: bool,
 }
 
 impl AdaptivePartitioner {
@@ -186,9 +258,16 @@ impl AdaptivePartitioner {
         partitioning.recount_live(&graph);
         let cut = cut_edges(&graph, &partitioning);
         let mut degree_mass = vec![0usize; config.num_partitions as usize];
+        // All live vertices start active: a fresh partitioner owes every
+        // vertex a first evaluation, and a restored one may not know which
+        // vertices the original had retired — conservatively re-marking is
+        // exact because skipped vertices would have decided Stay anyway.
+        let mut active = ActiveSet::with_default_shards(graph.num_vertices());
         for v in graph.vertices() {
             degree_mass[partitioning.partition_of(v) as usize] += graph.degree(v);
+            active.mark(v as usize);
         }
+        let max_live = partitioning.sizes().iter().copied().max().unwrap_or(0);
         AdaptivePartitioner {
             graph,
             partitioning,
@@ -200,6 +279,9 @@ impl AdaptivePartitioner {
             iteration: 0,
             quiet_streak: 0,
             pending: Vec::new(),
+            active,
+            max_live,
+            max_stale: false,
         }
     }
 
@@ -242,6 +324,24 @@ impl AdaptivePartitioner {
         self.quiet_streak
     }
 
+    /// Vertices the next decision sweep will visit (the active set): every
+    /// vertex with a cut-incident edge plus everything dirtied by
+    /// mutations or migrations since its last evaluation. This is the
+    /// per-iteration cost driver — `O(active)`, not `O(|V|)`.
+    pub fn num_active_vertices(&self) -> usize {
+        self.active.num_active()
+    }
+
+    /// Whether vertex `v` is in the active set (will be visited by the
+    /// next decision sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the slot range.
+    pub fn is_active(&self, v: VertexId) -> bool {
+        self.active.contains(v as usize)
+    }
+
     /// Whether the convergence criterion (no migrations for
     /// `config.convergence_window` iterations) currently holds.
     pub fn is_converged(&self) -> bool {
@@ -275,10 +375,19 @@ impl AdaptivePartitioner {
     ///
     /// All migration decisions observe the assignment as it stood at the
     /// start of the iteration (the paper's iteration semantics); moves are
-    /// applied together afterwards. The decision phase runs on up to
-    /// [`AdaptiveConfig::parallelism`] threads with results independent of
-    /// the thread count (see the type-level docs).
+    /// applied together afterwards. The decision phase visits only the
+    /// active set, on up to [`AdaptiveConfig::parallelism`] threads, with
+    /// results independent of both the thread count and the skip (see the
+    /// type-level docs).
     pub fn iterate(&mut self) -> IterationStats {
+        self.iterate_profiled().0
+    }
+
+    /// [`AdaptivePartitioner::iterate`], additionally reporting where the
+    /// iteration spent its time and how much work the active-set sweep
+    /// scheduled (benchmark instrumentation; the stats are identical to
+    /// what `iterate` would have produced).
+    pub fn iterate_profiled(&mut self) -> (IterationStats, SweepProfile) {
         let k = self.config.num_partitions;
         let caps = self.capacities();
         let balance_edges = self.config.balance_edges;
@@ -294,45 +403,87 @@ impl AdaptivePartitioner {
             .collect();
         let mut quota = QuotaTable::new(self.config.quota_rule, &remaining);
 
-        // Decision phase: every shard proposes migrations for its slot range
-        // against the frozen graph + assignment, drawing from its own
-        // (seed, shard, iteration) RNG stream. Read-only, embarrassingly
-        // parallel; proposals come back in shard order = vertex order.
+        // Decision phase: shards propose migrations for the active slots of
+        // their range against the frozen graph + assignment. Every vertex
+        // draws from its own (seed, vertex, iteration) RNG, so visiting a
+        // subset draws exactly what a full sweep would have drawn for each
+        // visited vertex. Read-only, embarrassingly parallel; proposals
+        // come back in shard order = vertex order. Shards with no active
+        // slot are skipped before the fan-out even sees them.
         let s = self.config.willingness_at(self.iteration);
         let plan = ShardPlan::with_default_size(self.graph.slot_range().len());
+        debug_assert_eq!(self.active.len(), plan.len(), "active set out of sync");
+        debug_assert_eq!(self.active.shard_size(), plan.shard_size());
+        let exhaustive = self.config.sweep_exhaustive;
         let graph = &self.graph;
         let partitioning = &self.partitioning;
+        let active = &self.active;
         let count_self = self.config.count_self;
         let seed = self.seed;
         let round = self.iteration as u64;
-        let proposals: Vec<Vec<(VertexId, PartitionId)>> =
-            fanout::map_shards(self.config.parallelism, &plan, |shard, slots| {
+        let active_before = active.num_active();
+
+        let shards: Vec<(usize, std::ops::Range<usize>)> = plan
+            .ranges()
+            .enumerate()
+            .filter(|(shard, _)| exhaustive || active.shard_active(*shard) > 0)
+            .collect();
+        let shards_swept = shards.len();
+
+        let decide_start = Instant::now();
+        let outcomes: Vec<ShardOutcome> =
+            fanout::map_items(self.config.parallelism, shards, |_, (_, slots)| {
                 let mut kernel = DecisionKernel::new(k, count_self);
-                let mut rng = stream_rng(seed, shard as u64, round);
-                let mut out = Vec::new();
-                for v in graph.live_in(slots) {
-                    if s < 1.0 && !rng.gen_bool(s) {
-                        continue;
+                let mut out = ShardOutcome::default();
+                if exhaustive {
+                    for v in graph.live_in(slots) {
+                        evaluate_vertex(
+                            v,
+                            s,
+                            seed,
+                            round,
+                            graph,
+                            partitioning,
+                            &mut kernel,
+                            &mut out,
+                        );
                     }
-                    let current = partitioning.partition_of(v);
-                    let neighbor_parts = graph
-                        .neighbors(v)
-                        .iter()
-                        .map(|&w| partitioning.partition_of(w));
-                    if let MigrationDecision::Migrate(to) =
-                        kernel.decide(current, neighbor_parts, &mut rng)
-                    {
-                        out.push((v, to));
+                } else {
+                    for slot in active.iter_in(slots) {
+                        let v = slot as VertexId;
+                        debug_assert!(graph.is_vertex(v), "tombstone {v} in active set");
+                        evaluate_vertex(
+                            v,
+                            s,
+                            seed,
+                            round,
+                            graph,
+                            partitioning,
+                            &mut kernel,
+                            &mut out,
+                        );
                     }
                 }
                 out
             });
+        let decide_ms = decide_start.elapsed().as_secs_f64() * 1e3;
 
-        // Merge phase: single-threaded and deterministic — admit proposals
-        // against the quota table in ascending vertex order (exactly what a
-        // sequential sweep would have consumed), then apply.
+        // Merge phase: single-threaded and deterministic. First retire the
+        // vertices the sweep proved interior — the apply phase re-dirties
+        // every neighbourhood its moves perturb, so anything whose boundary
+        // status changes is re-marked immediately after. Then admit
+        // proposals against the quota table in ascending vertex order
+        // (exactly what a sequential sweep would have consumed).
+        let merge_start = Instant::now();
+        let mut visited = 0usize;
+        for outcome in &outcomes {
+            visited += outcome.visited;
+            for &v in &outcome.retire {
+                self.active.clear(v as usize);
+            }
+        }
         self.pending.clear();
-        for (v, to) in merge_in_order(proposals) {
+        for (v, to) in outcomes.iter().flat_map(|o| o.proposals.iter().copied()) {
             let current = self.partitioning.partition_of(v);
             let units = if balance_edges {
                 self.graph.degree(v)
@@ -343,14 +494,18 @@ impl AdaptivePartitioner {
                 self.pending.push((v, to));
             }
         }
+        let merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
 
-        // Apply phase: move vertices, updating the cut incrementally.
+        // Apply phase: move vertices, updating the cut incrementally and
+        // re-dirtying each migrant's neighbourhood.
+        let apply_start = Instant::now();
         let migrations = self.pending.len();
         let pending = std::mem::take(&mut self.pending);
         for &(v, to) in &pending {
             self.apply_move(v, to);
         }
         self.pending = pending;
+        let apply_ms = apply_start.elapsed().as_secs_f64() * 1e3;
 
         self.iteration += 1;
         if migrations == 0 {
@@ -358,7 +513,17 @@ impl AdaptivePartitioner {
         } else {
             self.quiet_streak = 0;
         }
-        self.stats_snapshot(migrations)
+        let profile = SweepProfile {
+            active_before,
+            active_after: self.active.num_active(),
+            visited,
+            shards_swept,
+            num_shards: plan.num_shards(),
+            decide_ms,
+            merge_ms,
+            apply_ms,
+        };
+        (self.stats_snapshot(migrations), profile)
     }
 
     fn apply_move(&mut self, v: VertexId, to: PartitionId) {
@@ -373,21 +538,48 @@ impl AdaptivePartitioner {
             } else if pw == to {
                 self.cut -= 1; // was cut, becomes internal
             }
+            // The neighbour sees v's label change: its decision may differ
+            // next iteration, so it re-enters the active set.
+            self.active.mark(w as usize);
         }
+        self.active.mark(v as usize);
         let deg = self.graph.degree(v);
         self.degree_mass[from as usize] -= deg;
         self.degree_mass[to as usize] += deg;
         self.partitioning.move_vertex(v, to);
+        self.note_size_gain(to);
+        self.note_size_loss(from);
     }
 
-    fn stats_snapshot(&self, migrations: usize) -> IterationStats {
+    /// Partition `p` gained a vertex: its new size may be the new maximum.
+    fn note_size_gain(&mut self, p: PartitionId) {
+        let size = self.partitioning.size(p);
+        if size > self.max_live {
+            self.max_live = size;
+        }
+    }
+
+    /// Partition `p` lost a vertex: if it held the maximum, the maximum
+    /// may have shrunk — flag it for lazy recomputation instead of paying
+    /// an `O(k)` rescan on every move.
+    fn note_size_loss(&mut self, p: PartitionId) {
+        if self.partitioning.size(p) + 1 == self.max_live {
+            self.max_stale = true;
+        }
+    }
+
+    fn stats_snapshot(&mut self, migrations: usize) -> IterationStats {
+        if self.max_stale {
+            self.max_live = self.partitioning.sizes().iter().copied().max().unwrap_or(0);
+            self.max_stale = false;
+        }
         IterationStats {
             iteration: self.iteration - 1,
             migrations,
             cut_edges: self.cut,
             live_vertices: self.graph.num_live_vertices(),
             num_edges: self.graph.num_edges(),
-            max_partition: self.partitioning.sizes().iter().copied().max().unwrap_or(0),
+            max_partition: self.max_live,
         }
     }
 
@@ -447,16 +639,25 @@ impl AdaptivePartitioner {
         v
     }
 
-    /// Adds an isolated vertex and places it; resets the quiet streak.
+    /// Adds an isolated vertex and places it; resets the quiet streak. The
+    /// new vertex starts active (it owes a first evaluation).
     fn insert_vertex(&mut self) -> VertexId {
         let v = self.graph.add_vertex();
         let p = self.place_new_vertex(v);
         self.partitioning.grow_to(v as usize + 1, p);
+        self.active.grow_to(v as usize + 1);
+        self.active.mark(v as usize);
+        self.note_size_gain(p);
         self.quiet_streak = 0;
         v
     }
 
-    /// Adds an undirected edge; returns whether the graph changed.
+    /// Adds an undirected edge; returns whether the graph changed. Both
+    /// endpoints re-enter the active set — and only they: an edge flip
+    /// changes the endpoints' own neighbour multisets, while every other
+    /// vertex's candidate counts are untouched (their neighbour sets and
+    /// neighbour *labels* did not move), so marking just `u` and `v` is
+    /// already exact and keeps hub-incident churn cheap.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         let added = self.graph.add_edge(u, v);
         if added {
@@ -465,12 +666,16 @@ impl AdaptivePartitioner {
             }
             self.degree_mass[self.partitioning.partition_of(u) as usize] += 1;
             self.degree_mass[self.partitioning.partition_of(v) as usize] += 1;
+            self.active.mark(u as usize);
+            self.active.mark(v as usize);
             self.quiet_streak = 0;
         }
         added
     }
 
-    /// Removes an undirected edge; returns whether the graph changed.
+    /// Removes an undirected edge; returns whether the graph changed. Both
+    /// endpoints re-enter the active set (and only they — see
+    /// [`AdaptivePartitioner::add_edge`] for why that is exact).
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         let removed = self.graph.remove_edge(u, v);
         if removed {
@@ -479,13 +684,16 @@ impl AdaptivePartitioner {
             }
             self.degree_mass[self.partitioning.partition_of(u) as usize] -= 1;
             self.degree_mass[self.partitioning.partition_of(v) as usize] -= 1;
+            self.active.mark(u as usize);
+            self.active.mark(v as usize);
             self.quiet_streak = 0;
         }
         removed
     }
 
     /// Removes a vertex and its incident edges; returns whether the graph
-    /// changed.
+    /// changed. Every former neighbour re-enters the active set (each lost
+    /// an edge); the tombstone itself leaves it.
     pub fn remove_vertex(&mut self, v: VertexId) -> bool {
         if !self.graph.is_vertex(v) {
             return false;
@@ -496,10 +704,13 @@ impl AdaptivePartitioner {
                 self.cut -= 1;
             }
             self.degree_mass[self.partitioning.partition_of(w) as usize] -= 1;
+            self.active.mark(w as usize);
         }
         self.degree_mass[pv as usize] -= self.graph.degree(v);
         self.graph.remove_vertex(v);
         self.partitioning.forget_vertex(v);
+        self.note_size_loss(pv);
+        self.active.clear(v as usize);
         self.quiet_streak = 0;
         true
     }
@@ -554,7 +765,12 @@ impl AdaptivePartitioner {
 
     /// Rebuilds a partitioner from state captured by
     /// [`AdaptivePartitioner::snapshot_state`] (possibly on a previous
-    /// process), recomputing the incremental accounting.
+    /// process), recomputing the incremental accounting. The active set is
+    /// not part of the captured state: restore conservatively marks every
+    /// live vertex active, which is exact — the vertices the original had
+    /// retired would all have decided *Stay*, so kill-and-resume timelines
+    /// stay byte-equal (the extra first-sweep evaluations retire them
+    /// again without producing migrations).
     ///
     /// # Panics
     ///
@@ -597,7 +813,8 @@ impl AdaptivePartitioner {
     }
 
     /// Audits internal invariants (incremental cut vs recount, size
-    /// accounting); used by tests and debug assertions.
+    /// accounting, max-partition tracking, the active-set invariant); used
+    /// by tests and debug assertions.
     ///
     /// # Panics
     ///
@@ -617,6 +834,52 @@ impl AdaptivePartitioner {
             "size accounting drifted"
         );
         assert_eq!(mass, self.degree_mass, "degree-mass accounting drifted");
+        let true_max = sizes.iter().copied().max().unwrap_or(0);
+        if self.max_stale {
+            assert!(
+                self.max_live >= true_max,
+                "stale max-partition tracking fell below the true maximum"
+            );
+        } else {
+            assert_eq!(self.max_live, true_max, "max-partition tracking drifted");
+        }
+        // Active-set exactness invariant: every *inactive* live vertex must
+        // provably decide Stay — no partition may outweigh its current one
+        // among its neighbours (ties resolve to Stay deterministically, so
+        // equality is safe; randomness only enters once another partition
+        // strictly wins). This is precisely what makes skipping inactive
+        // vertices indistinguishable from evaluating them.
+        self.active.audit();
+        assert_eq!(
+            self.active.len(),
+            self.graph.num_vertices(),
+            "active set does not cover the slot range"
+        );
+        let mut counts = vec![0u32; self.config.num_partitions as usize];
+        for v in self.graph.vertices() {
+            if self.active.contains(v as usize) {
+                continue;
+            }
+            counts.iter_mut().for_each(|c| *c = 0);
+            for &w in self.graph.neighbors(v) {
+                counts[self.partitioning.partition_of(w) as usize] += 1;
+            }
+            let pv = self.partitioning.partition_of(v);
+            let own = counts[pv as usize] + self.config.count_self as u32;
+            for (p, &count) in counts.iter().enumerate() {
+                assert!(
+                    p == pv as usize || count <= own,
+                    "inactive vertex {v} could migrate: partition {p} holds \
+                     {count} of its neighbours vs {own} at home"
+                );
+            }
+        }
+        for slot in self.active.iter() {
+            assert!(
+                self.graph.is_vertex(slot as VertexId),
+                "tombstone {slot} lingering in the active set"
+            );
+        }
     }
 }
 
@@ -643,6 +906,65 @@ impl DeltaTarget for AdaptivePartitioner {
         let degree = self.graph.degree(v);
         self.remove_vertex(v);
         Some(degree)
+    }
+}
+
+/// What one shard's decision pass produced: migration proposals (ascending
+/// vertex order), vertices proven interior (to retire from the active
+/// set), and how many slots it visited.
+#[derive(Debug, Default)]
+struct ShardOutcome {
+    proposals: Vec<(VertexId, PartitionId)>,
+    retire: Vec<VertexId>,
+    visited: usize,
+}
+
+/// Evaluates one vertex against the frozen iteration-start snapshot.
+///
+/// Every draw comes from the vertex's own `(seed, vertex, round)` RNG —
+/// first the willingness roll, then any tie-breaks inside the kernel — so
+/// the outcome is independent of which other vertices were visited. A
+/// vertex that decides *Stay* is retired from the active set: Stay is
+/// deterministic (the current partition wins every tie), so with an
+/// unchanged neighbourhood the vertex would decide Stay on every future
+/// iteration too. An interior vertex (no neighbour outside its partition,
+/// or no neighbours at all) short-circuits to that retirement without
+/// running the kernel — its own partition is the only candidate.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn evaluate_vertex(
+    v: VertexId,
+    s: f64,
+    seed: u64,
+    round: u64,
+    graph: &DynGraph,
+    partitioning: &Partitioning,
+    kernel: &mut DecisionKernel,
+    out: &mut ShardOutcome,
+) {
+    out.visited += 1;
+    let mut rng = vertex_rng(seed, v as u64, round);
+    if s < 1.0 && !rng.gen_bool(s) {
+        // Declined to evaluate this round: it stays active and re-rolls
+        // next iteration, exactly as an exhaustive sweep would.
+        return;
+    }
+    let current = partitioning.partition_of(v);
+    let neighbors = graph.neighbors(v);
+    if !neighbors
+        .iter()
+        .any(|&w| partitioning.partition_of(w) != current)
+    {
+        out.retire.push(v);
+        return;
+    }
+    match kernel.decide(
+        current,
+        neighbors.iter().map(|&w| partitioning.partition_of(w)),
+        &mut rng,
+    ) {
+        MigrationDecision::Stay => out.retire.push(v),
+        MigrationDecision::Migrate(to) => out.proposals.push((v, to)),
     }
 }
 
@@ -805,6 +1127,110 @@ mod tests {
         let p2 = AdaptivePartitioner::from_partitioning(&g, assignment.clone(), &cfg, 2);
         assert_eq!(p2.partitioning(), &assignment);
         assert_eq!(p2.cut_edges(), cut_edges(&g, &assignment));
+    }
+
+    #[test]
+    fn active_sweep_matches_exhaustive_sweep() {
+        // The tentpole contract: with per-vertex RNG keying, skipping
+        // interior vertices is exact — histories are identical whether the
+        // active-set skip is on (default) or forced off.
+        let g = gen::mesh3d(10, 10, 10);
+        let run = |exhaustive: bool| {
+            let cfg = AdaptiveConfig::new(4)
+                .willingness(0.7)
+                .sweep_exhaustive(exhaustive);
+            let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 23);
+            let mut history = p.run_for(8);
+            let v = p.add_vertex_with_edges(&[0, 1, 5, 17]);
+            p.add_edge(v, 40);
+            p.remove_edge(2, 3);
+            p.remove_vertex(77);
+            history.extend(p.run_for(8));
+            p.audit();
+            (history, p.partitioning().clone(), p.cut_edges())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn stay_deciders_retire_from_the_active_set() {
+        let g = gen::mesh3d(8, 8, 8);
+        let cfg = AdaptiveConfig::new(4).max_iterations(500);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 9);
+        let all = p.num_active_vertices();
+        assert_eq!(all, 512, "everything starts active");
+        let report = p.run_to_convergence();
+        assert!(report.converged(), "mesh refinement did not go quiet");
+        p.audit();
+        // Quiet for the whole convergence window means every vertex has
+        // long since evaluated to a stable Stay and retired — boundary
+        // vertices included (Stay is deterministic, so sitting on the cut
+        // does not keep a vertex active). Only quota-starved would-be
+        // migrants could linger, and a converged mesh has none.
+        assert!(
+            p.num_active_vertices() <= all / 50,
+            "converged mesh still has {} of {all} vertices active",
+            p.num_active_vertices()
+        );
+        // The sweep visits exactly the active set.
+        let active = p.num_active_vertices();
+        let (_, profile) = p.iterate_profiled();
+        assert_eq!(profile.active_before, active);
+        assert_eq!(profile.visited, active);
+        assert!(profile.shards_swept <= profile.num_shards);
+    }
+
+    #[test]
+    fn mutations_reactivate_the_perturbed_region() {
+        let g = gen::mesh3d(8, 8, 8);
+        let cfg = AdaptiveConfig::new(4).willingness(1.0).max_iterations(400);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 31);
+        p.run_to_convergence();
+        let quiet = p.num_active_vertices();
+        // An edge between two vertices re-activates both neighbourhoods.
+        let (u, v) = (0u32, 300u32);
+        assert!(p.add_edge(u, v) || p.remove_edge(u, v));
+        assert!(p.is_active(u) && p.is_active(v));
+        assert!(p.num_active_vertices() > quiet);
+        p.audit();
+    }
+
+    #[test]
+    fn restore_reactivates_all_live_vertices() {
+        let g = gen::mesh3d(6, 6, 6);
+        let cfg = AdaptiveConfig::new(3).willingness(1.0);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 12);
+        p.run_for(20);
+        assert!(p.num_active_vertices() < p.graph().num_live_vertices());
+        let restored = AdaptivePartitioner::restore(p.snapshot_state());
+        assert_eq!(
+            restored.num_active_vertices(),
+            restored.graph().num_live_vertices(),
+            "restore must conservatively re-mark every live vertex"
+        );
+        // ... and the conservative re-marking is exact: both futures agree.
+        let mut a = p;
+        let mut b = restored;
+        assert_eq!(a.run_for(10), b.run_for(10));
+        b.audit();
+    }
+
+    #[test]
+    fn max_partition_tracking_matches_rescan() {
+        let mut p = mesh_partitioner(0.8, 15);
+        for _ in 0..25 {
+            let stats = p.iterate();
+            let rescan = p.partitioning().sizes().iter().copied().max().unwrap();
+            assert_eq!(stats.max_partition, rescan);
+        }
+        p.remove_vertex(3);
+        p.remove_vertex(100);
+        let v = p.add_vertex_with_edges(&[0, 1]);
+        p.add_edge(v, 2);
+        let stats = p.iterate();
+        let rescan = p.partitioning().sizes().iter().copied().max().unwrap();
+        assert_eq!(stats.max_partition, rescan);
+        p.audit();
     }
 
     #[test]

@@ -173,6 +173,10 @@ impl Decode for Anneal {
 }
 
 impl Encode for AdaptiveConfig {
+    /// `sweep_exhaustive` is deliberately absent: it is a transient
+    /// diagnostic hook (active-set skip disabled, identical results), not
+    /// logical state — persisting it would change the wire format for a
+    /// knob that never alters behaviour.
     fn encode(&self, enc: &mut Encoder) {
         self.num_partitions.encode(enc);
         self.willingness.encode(enc);
@@ -204,6 +208,7 @@ impl Decode for AdaptiveConfig {
             balance_edges: bool::decode(dec)?,
             count_self: bool::decode(dec)?,
             parallelism: usize::decode(dec)?,
+            sweep_exhaustive: false,
         };
         if config.num_partitions == 0 {
             return Err(DecodeError::Corrupt("config has zero partitions"));

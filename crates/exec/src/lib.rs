@@ -11,10 +11,15 @@
 //!   fixed-size chunks. The plan depends on the data only, never on the
 //!   thread count.
 //! * [`stream_rng`] — per-`(seed, stream, round)` RNG streams, so random
-//!   draws belong to logical work units instead of threads.
+//!   draws belong to logical work units instead of threads — and
+//!   [`vertex_rng`], the finer-grained per-`(seed, vertex, round)`
+//!   derivation that makes skipping inert vertices exact.
 //! * [`fanout::map_items`] / [`fanout::map_shards`] — scoped-thread fan-out
 //!   returning outputs in index order, with a sequential inline path for
 //!   `threads <= 1`.
+//! * [`ActiveSet`] — a dense bitmap with per-shard counts, so sweeps can
+//!   visit only the slots that still need work and skip whole shards that
+//!   have none.
 //!
 //! # The determinism contract
 //!
@@ -45,10 +50,12 @@
 //! assert_eq!(per_shard, single);
 //! ```
 
+pub mod active;
 pub mod fanout;
 pub mod rng;
 pub mod shard;
 
+pub use active::{ActiveIter, ActiveSet};
 pub use fanout::{available_parallelism, map_items, map_shards};
-pub use rng::{stream_rng, stream_state};
+pub use rng::{stream_rng, stream_state, vertex_rng, vertex_state};
 pub use shard::{merge_in_order, ShardPlan, DEFAULT_SHARD_SIZE};

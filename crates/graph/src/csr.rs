@@ -88,19 +88,33 @@ impl CsrGraph {
 
     /// Builds a graph from explicit sorted adjacency lists.
     ///
-    /// Used by [`crate::DynGraph::to_csr`] and the generators, which already
-    /// hold adjacency in the right shape.
+    /// Used by the generators, which already hold adjacency in the right
+    /// shape. Callers that only *borrow* their adjacency (e.g.
+    /// [`crate::DynGraph::to_csr`]) should use
+    /// [`CsrGraph::from_sorted_adjacency_slices`] instead of cloning.
     ///
     /// # Panics
     ///
     /// Panics (debug builds) if a list is unsorted, contains duplicates or a
     /// self-loop, or if adjacency is asymmetric.
     pub fn from_sorted_adjacency(adj: Vec<Vec<VertexId>>) -> Self {
+        Self::from_sorted_adjacency_slices(&adj)
+    }
+
+    /// Builds a graph from borrowed sorted adjacency lists: offsets and
+    /// targets are assembled directly from the slices, so the caller's
+    /// adjacency is read once and never cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a list is unsorted, contains duplicates or a
+    /// self-loop, or if adjacency is asymmetric.
+    pub fn from_sorted_adjacency_slices(adj: &[Vec<VertexId>]) -> Self {
         let n = adj.len();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
-        for list in &adj {
+        for list in adj {
             debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency");
             acc += list.len();
             offsets.push(acc);

@@ -147,9 +147,11 @@ impl DynGraph {
     /// Freezes the current live subgraph into a [`CsrGraph`].
     ///
     /// Tombstoned ids are preserved as isolated vertices so that ids remain
-    /// stable between the two representations.
+    /// stable between the two representations. The CSR offsets and targets
+    /// are built directly from the borrowed neighbour lists — the graph's
+    /// adjacency is read once, never cloned.
     pub fn to_csr(&self) -> CsrGraph {
-        CsrGraph::from_sorted_adjacency(self.adj.clone())
+        CsrGraph::from_sorted_adjacency_slices(&self.adj)
     }
 
     /// The full vertex-slot range `0..num_vertices()`, tombstones included.
