@@ -53,6 +53,9 @@ fn main() {
     banner("Streaming ingestion");
     streaming::print(&streaming::run(args.scale, args.reps(), args.seed));
 
+    banner("Serving locality");
+    serve::print(&serve::run(args.scale, args.seed));
+
     banner("Checkpoint overhead");
     persist::print(&persist::run(args.scale, args.reps(), args.seed));
 }

@@ -9,6 +9,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod persist;
 pub mod scaling;
+pub mod serve;
 pub mod streaming;
 pub mod sweep;
 pub mod table1;

@@ -53,18 +53,236 @@ impl Anneal {
     }
 }
 
+/// Why a configuration was rejected by [`AdaptiveConfigBuilder::build`].
+///
+/// The builder validates *everything at once* and reports the first
+/// violation as a typed error — the fallible counterpart of the panicking
+/// [`AdaptiveConfig::new`] chainers, for callers assembling configurations
+/// from untrusted input (CLI flags, config files, sweep grids).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `k == 0`: there is nothing to partition into.
+    ZeroPartitions,
+    /// Willingness `s` outside `[0, 1]` (carries the offending value).
+    WillingnessOutOfRange(f64),
+    /// Capacity factor below `1.0`, i.e. less than the balanced load
+    /// (carries the offending factor — note
+    /// [`AdaptiveConfigBuilder::capacity_slack`] with a negative slack
+    /// lands here).
+    CapacityFactorBelowOne(f64),
+    /// `parallelism == 0`: the decision sweep needs at least one thread.
+    ZeroParallelism,
+    /// An annealing endpoint outside `[0, 1]`.
+    AnnealOutOfRange {
+        /// Willingness at iteration 0.
+        start: f64,
+        /// Willingness at the end of the schedule.
+        end: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroPartitions => write!(f, "need at least one partition"),
+            ConfigError::WillingnessOutOfRange(s) => {
+                write!(f, "willingness s = {s} outside [0, 1]")
+            }
+            ConfigError::CapacityFactorBelowOne(c) => {
+                write!(f, "capacity factor {c} below the balanced load (1.0)")
+            }
+            ConfigError::ZeroParallelism => write!(f, "need at least one decision-sweep thread"),
+            ConfigError::AnnealOutOfRange { start, end } => {
+                write!(f, "anneal endpoints ({start}, {end}) outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`AdaptiveConfig`], created by
+/// [`AdaptiveConfig::builder`].
+///
+/// Unlike the panicking [`AdaptiveConfig::new`] chainers, the builder
+/// accepts any values and defers all checking to
+/// [`build`](AdaptiveConfigBuilder::build), which returns a typed
+/// [`ConfigError`] instead of panicking — no silent clamping anywhere.
+///
+/// # Example
+///
+/// ```
+/// use apg_core::{AdaptiveConfig, ConfigError};
+///
+/// let config = AdaptiveConfig::builder(16)
+///     .capacity_slack(0.1)
+///     .parallelism(8)
+///     .build()
+///     .unwrap();
+/// assert!((config.capacity_factor - 1.1).abs() < 1e-12);
+///
+/// let err = AdaptiveConfig::builder(16).willingness(1.5).build();
+/// assert_eq!(err, Err(ConfigError::WillingnessOutOfRange(1.5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfigBuilder {
+    num_partitions: PartitionId,
+    willingness: f64,
+    capacity_factor: f64,
+    convergence_window: usize,
+    max_iterations: usize,
+    quota_rule: QuotaRule,
+    placement: PlacementPolicy,
+    anneal: Option<Anneal>,
+    balance_edges: bool,
+    count_self: bool,
+    parallelism: usize,
+}
+
+impl AdaptiveConfigBuilder {
+    /// Sets the willingness to move `s` (validated to `[0, 1]` at build).
+    pub fn willingness(mut self, s: f64) -> Self {
+        self.willingness = s;
+        self
+    }
+
+    /// Sets the per-partition capacity as a factor of the balanced load
+    /// (validated to `>= 1.0` at build).
+    pub fn capacity_factor(mut self, factor: f64) -> Self {
+        self.capacity_factor = factor;
+        self
+    }
+
+    /// Sets the capacity as balanced load plus a slack fraction:
+    /// `capacity_factor = 1.0 + slack` (so `0.1` means 110%, the paper's
+    /// evaluation setting). Negative slack fails validation.
+    pub fn capacity_slack(mut self, slack: f64) -> Self {
+        self.capacity_factor = 1.0 + slack;
+        self
+    }
+
+    /// Sets the convergence window (migration-free iterations before the
+    /// runner declares convergence; the paper uses 30).
+    pub fn convergence_window(mut self, window: usize) -> Self {
+        self.convergence_window = window;
+        self
+    }
+
+    /// Sets the hard iteration cap for convergence runs.
+    pub fn max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Sets the migration budget rule.
+    pub fn quota_rule(mut self, rule: QuotaRule) -> Self {
+        self.quota_rule = rule;
+        self
+    }
+
+    /// Sets the placement policy for streamed-in vertices.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets whether a vertex counts itself when scoring its own partition.
+    pub fn count_self(mut self, yes: bool) -> Self {
+        self.count_self = yes;
+        self
+    }
+
+    /// Switches the balance objective to edge endpoints (paper §6).
+    pub fn balance_on_edges(mut self, yes: bool) -> Self {
+        self.balance_edges = yes;
+        self
+    }
+
+    /// Sets the decision-sweep thread count (validated to `>= 1` at
+    /// build). Results are identical at any value for a fixed seed.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
+
+    /// Anneals the willingness linearly from `start` to `end` over the
+    /// given number of iterations (endpoints validated to `[0, 1]` at
+    /// build).
+    pub fn anneal_willingness(mut self, start: f64, end: f64, over_iterations: usize) -> Self {
+        self.anneal = Some(Anneal {
+            start,
+            end,
+            over_iterations,
+        });
+        self
+    }
+
+    /// Validates the accumulated settings and produces the configuration.
+    ///
+    /// Checks run in a fixed order (partitions, willingness, capacity,
+    /// parallelism, anneal) and the first violation is returned.
+    pub fn build(self) -> Result<AdaptiveConfig, ConfigError> {
+        if self.num_partitions == 0 {
+            return Err(ConfigError::ZeroPartitions);
+        }
+        if !(0.0..=1.0).contains(&self.willingness) {
+            return Err(ConfigError::WillingnessOutOfRange(self.willingness));
+        }
+        if self.capacity_factor < 1.0 || self.capacity_factor.is_nan() {
+            return Err(ConfigError::CapacityFactorBelowOne(self.capacity_factor));
+        }
+        if self.parallelism == 0 {
+            return Err(ConfigError::ZeroParallelism);
+        }
+        if let Some(a) = &self.anneal {
+            if !(0.0..=1.0).contains(&a.start) || !(0.0..=1.0).contains(&a.end) {
+                return Err(ConfigError::AnnealOutOfRange {
+                    start: a.start,
+                    end: a.end,
+                });
+            }
+        }
+        Ok(AdaptiveConfig {
+            num_partitions: self.num_partitions,
+            willingness: self.willingness,
+            capacity_factor: self.capacity_factor,
+            convergence_window: self.convergence_window,
+            max_iterations: self.max_iterations,
+            quota_rule: self.quota_rule,
+            placement: self.placement,
+            anneal: self.anneal,
+            balance_edges: self.balance_edges,
+            count_self: self.count_self,
+            parallelism: self.parallelism,
+            sweep_exhaustive: false,
+        })
+    }
+}
+
 /// Configuration for [`crate::AdaptivePartitioner`].
 ///
 /// Defaults follow the paper's evaluation: willingness to move `s = 0.5`
 /// (§2.3), capacity 110% of the balanced load (§4.2.1), convergence after
 /// 30 migration-free iterations (§2.3).
 ///
+/// Two construction paths:
+///
+/// * [`AdaptiveConfig::builder`] — the blessed one: accumulate settings,
+///   then [`build`](AdaptiveConfigBuilder::build) validates everything and
+///   returns `Result<_, ConfigError>`.
+/// * [`AdaptiveConfig::new`] plus panicking chainers — the original API,
+///   kept as a thin shim for call sites with statically known-good values.
+///
 /// # Example
 ///
 /// ```
 /// use apg_core::AdaptiveConfig;
 ///
-/// let config = AdaptiveConfig::new(9).willingness(0.8).capacity_factor(1.2);
+/// let config = AdaptiveConfig::builder(9)
+///     .willingness(0.8)
+///     .capacity_factor(1.2)
+///     .build()
+///     .unwrap();
 /// assert_eq!(config.num_partitions, 9);
 /// assert!((config.willingness - 0.8).abs() < 1e-12);
 /// ```
@@ -119,14 +337,12 @@ pub struct AdaptiveConfig {
 }
 
 impl AdaptiveConfig {
-    /// Paper defaults for `k` partitions.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k == 0`.
-    pub fn new(k: PartitionId) -> Self {
-        assert!(k > 0, "need at least one partition");
-        AdaptiveConfig {
+    /// Starts a validating builder with the paper defaults for `k`
+    /// partitions. Nothing is checked until
+    /// [`build`](AdaptiveConfigBuilder::build), which returns
+    /// `Err(ConfigError)` for any invalid combination — including `k == 0`.
+    pub fn builder(k: PartitionId) -> AdaptiveConfigBuilder {
+        AdaptiveConfigBuilder {
             num_partitions: k,
             willingness: 0.5,
             capacity_factor: 1.10,
@@ -138,7 +354,19 @@ impl AdaptiveConfig {
             balance_edges: false,
             count_self: false,
             parallelism: apg_exec::available_parallelism(),
-            sweep_exhaustive: false,
+        }
+    }
+
+    /// Paper defaults for `k` partitions — the panicking shim over
+    /// [`AdaptiveConfig::builder`] for statically known-good `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: PartitionId) -> Self {
+        match Self::builder(k).build() {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -317,5 +545,103 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn rejects_zero_partitions() {
         let _ = AdaptiveConfig::new(0);
+    }
+
+    #[test]
+    fn builder_matches_new_defaults() {
+        assert_eq!(AdaptiveConfig::builder(9).build().unwrap(), {
+            // `new` routes through the builder; keep the equality anyway as
+            // the shim contract.
+            AdaptiveConfig::new(9)
+        });
+    }
+
+    #[test]
+    fn builder_accepts_the_blessed_chain() {
+        let c = AdaptiveConfig::builder(8)
+            .capacity_slack(0.1)
+            .parallelism(8)
+            .willingness(0.7)
+            .convergence_window(10)
+            .max_iterations(200)
+            .quota_rule(QuotaRule::Unbounded)
+            .placement(PlacementPolicy::LeastLoaded)
+            .count_self(true)
+            .balance_on_edges(true)
+            .anneal_willingness(0.9, 0.2, 40)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_partitions, 8);
+        assert!((c.capacity_factor - 1.1).abs() < 1e-12);
+        assert_eq!(c.parallelism, 8);
+        assert!(c.count_self && c.balance_edges);
+        assert_eq!(c.quota_rule, QuotaRule::Unbounded);
+        assert_eq!(
+            c.anneal,
+            Some(Anneal {
+                start: 0.9,
+                end: 0.2,
+                over_iterations: 40
+            })
+        );
+        assert!(!c.sweep_exhaustive, "diagnostic hook never set by builder");
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_setting_with_a_typed_error() {
+        use ConfigError::*;
+        assert_eq!(AdaptiveConfig::builder(0).build(), Err(ZeroPartitions));
+        assert_eq!(
+            AdaptiveConfig::builder(4).willingness(-0.1).build(),
+            Err(WillingnessOutOfRange(-0.1))
+        );
+        assert!(matches!(
+            AdaptiveConfig::builder(4).willingness(f64::NAN).build(),
+            Err(WillingnessOutOfRange(s)) if s.is_nan()
+        ));
+        assert!(matches!(
+            AdaptiveConfig::builder(4).capacity_factor(f64::NAN).build(),
+            Err(CapacityFactorBelowOne(c)) if c.is_nan()
+        ));
+        assert_eq!(
+            AdaptiveConfig::builder(4).capacity_factor(0.9).build(),
+            Err(CapacityFactorBelowOne(0.9))
+        );
+        assert_eq!(
+            AdaptiveConfig::builder(4).capacity_slack(-0.2).build(),
+            Err(CapacityFactorBelowOne(0.8))
+        );
+        assert_eq!(
+            AdaptiveConfig::builder(4).parallelism(0).build(),
+            Err(ZeroParallelism)
+        );
+        assert_eq!(
+            AdaptiveConfig::builder(4)
+                .anneal_willingness(0.5, 1.2, 10)
+                .build(),
+            Err(AnnealOutOfRange {
+                start: 0.5,
+                end: 1.2
+            })
+        );
+    }
+
+    #[test]
+    fn builder_checks_only_at_build() {
+        // Setting an invalid value then overwriting it is fine — validation
+        // is deferred, never incremental.
+        let c = AdaptiveConfig::builder(4)
+            .willingness(7.0)
+            .willingness(0.5)
+            .build();
+        assert!(c.is_ok());
+    }
+
+    #[test]
+    fn config_error_displays_the_offending_value() {
+        let e = ConfigError::WillingnessOutOfRange(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroPartitions);
+        assert!(e.to_string().contains("at least one partition"));
     }
 }

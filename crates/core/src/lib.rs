@@ -46,7 +46,9 @@ pub mod stats;
 pub mod streaming;
 
 pub use candidates::{DecisionKernel, MigrationDecision};
-pub use config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
+pub use config::{
+    AdaptiveConfig, AdaptiveConfigBuilder, Anneal, ConfigError, PlacementPolicy, QuotaRule,
+};
 pub use partitioner::{AdaptivePartitioner, IterationStats, SweepProfile};
 pub use persist::{PartitionerState, StreamCheckpoint};
 pub use quota::QuotaTable;

@@ -48,6 +48,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use apg_graph::{ApplyReport, DeltaLog, UpdateBatch};
+use apg_serve::{QueryRouter, QueryWorkload, ServeStats};
 use apg_streams::StreamSource;
 
 use crate::partitioner::AdaptivePartitioner;
@@ -143,10 +144,19 @@ impl PartialEq for TimelineStats {
 
 impl Eq for TimelineStats {}
 
+/// The optional interleaved serving phase: a query workload served once
+/// per ingested batch, with its own per-round timeline.
+#[derive(Debug, Clone)]
+struct ServePhase {
+    workload: QueryWorkload,
+    timeline: Vec<ServeStats>,
+}
+
 /// Drives batched ingestion through an [`AdaptivePartitioner`].
 ///
 /// Construction is builder-style: wrap a partitioner, optionally set the
-/// per-batch iteration budget and delta recording, then feed batches with
+/// per-batch iteration budget, delta recording, and an interleaved
+/// [serve phase](StreamingRunner::serve_workload), then feed batches with
 /// [`StreamingRunner::ingest`] or pull a whole stream with
 /// [`StreamingRunner::drive`].
 #[derive(Debug, Clone)]
@@ -156,6 +166,7 @@ pub struct StreamingRunner {
     record: bool,
     log: DeltaLog,
     timeline: Vec<TimelineStats>,
+    serve: Option<ServePhase>,
 }
 
 impl StreamingRunner {
@@ -168,6 +179,7 @@ impl StreamingRunner {
             record: false,
             log: DeltaLog::new(),
             timeline: Vec::new(),
+            serve: None,
         }
     }
 
@@ -183,6 +195,28 @@ impl StreamingRunner {
     /// run's exact mutation history can be replayed onto a fresh graph.
     pub fn record_log(mut self, yes: bool) -> Self {
         self.record = yes;
+        self
+    }
+
+    /// Attaches an interleaved serving phase: after each batch's
+    /// repartitioning iterations, one round of `workload` is served
+    /// read-only against the fresh `(graph, partitioning)` snapshot (round
+    /// index = batch index, parallelism = the partitioner's configured
+    /// [`parallelism`](crate::AdaptiveConfig::parallelism)), and its
+    /// [`ServeStats`] appended to [`StreamingRunner::serve_timeline`].
+    ///
+    /// In debug builds every serve round is followed by a full
+    /// [`AdaptivePartitioner::audit`] plus active-set and cut checks,
+    /// proving the read-only traversal dirtied nothing.
+    ///
+    /// The serve phase is *not* part of the checkpoint wire format:
+    /// [resumed](crate::persist) runners come back without one, and callers
+    /// that want serving after a resume re-attach it here.
+    pub fn serve_workload(mut self, workload: QueryWorkload) -> Self {
+        self.serve = Some(ServePhase {
+            workload,
+            timeline: Vec::new(),
+        });
         self
     }
 
@@ -219,7 +253,49 @@ impl StreamingRunner {
             wall_ms,
         };
         self.timeline.push(stats.clone());
+        self.serve_after_batch(stats.batch as u64);
         stats
+    }
+
+    /// Serves one workload round against the post-batch snapshot (no-op
+    /// without an attached serve phase). In debug builds, proves serving
+    /// left the partitioner untouched.
+    fn serve_after_batch(&mut self, round: u64) {
+        let Some(phase) = self.serve.as_mut() else {
+            return;
+        };
+        let partitioner = &self.partitioner;
+        #[cfg(debug_assertions)]
+        let (active_before, cut_before) =
+            (partitioner.num_active_vertices(), partitioner.cut_edges());
+        let router = QueryRouter::new(partitioner.graph(), partitioner.partitioning());
+        let stats = router.serve_round(&phase.workload, round, partitioner.config().parallelism);
+        phase.timeline.push(stats);
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                active_before,
+                partitioner.num_active_vertices(),
+                "serve round {round} dirtied the active set"
+            );
+            debug_assert_eq!(
+                cut_before,
+                partitioner.cut_edges(),
+                "serve round {round} moved the cut"
+            );
+            partitioner.audit();
+        }
+    }
+
+    /// The per-round serving timeline, oldest first (empty when no
+    /// [workload is attached](StreamingRunner::serve_workload)).
+    pub fn serve_timeline(&self) -> &[ServeStats] {
+        self.serve.as_ref().map_or(&[], |phase| &phase.timeline)
+    }
+
+    /// The attached serve workload, if any.
+    pub fn serve_workload_ref(&self) -> Option<&QueryWorkload> {
+        self.serve.as_ref().map(|phase| &phase.workload)
     }
 
     /// Pulls and ingests up to `max_batches` batches from `source`;
@@ -272,6 +348,10 @@ impl StreamingRunner {
             record,
             log,
             timeline,
+            // The serve phase is deliberately outside the wire format (the
+            // workload is an in-process concern); resumed runners re-attach
+            // one via `serve_workload` if they want interleaved serving.
+            serve: None,
         }
     }
 
@@ -397,6 +477,60 @@ mod tests {
         let mut other = mk(1.0);
         other.migrations = 4;
         assert_ne!(mk(1.0), other);
+    }
+
+    #[test]
+    fn serve_phase_appends_one_round_per_batch_and_mutates_nothing() {
+        use apg_serve::{QueryMix, QueryWorkload};
+        let config = CdrConfig {
+            initial_subscribers: 600,
+            ..CdrConfig::default()
+        };
+        let graph = DynGraph::with_vertices(config.initial_subscribers);
+        let run = |serve: bool| {
+            let mut stream = CdrStream::new(config, 9);
+            let mut r = runner(&graph, 4, 2, 9);
+            if serve {
+                r = r.serve_workload(QueryWorkload::new(QueryMix::Uniform, 32, 5));
+            }
+            r.drive(&mut stream, 8);
+            r
+        };
+        let with_serve = run(true);
+        assert_eq!(with_serve.serve_timeline().len(), 8);
+        for (i, round) in with_serve.serve_timeline().iter().enumerate() {
+            assert_eq!(round.round, i as u64);
+            assert_eq!(round.queries, 32);
+        }
+        // Serving is read-only: the ingest timeline is byte-identical to a
+        // run without the serve phase.
+        let without = run(false);
+        assert!(without.serve_timeline().is_empty());
+        assert_eq!(with_serve.timeline(), without.timeline());
+    }
+
+    #[test]
+    fn serve_timeline_is_parallelism_invariant() {
+        use apg_serve::{QueryMix, QueryWorkload};
+        let config = CdrConfig {
+            initial_subscribers: 900,
+            ..CdrConfig::default()
+        };
+        let graph = DynGraph::with_vertices(config.initial_subscribers);
+        let run = |parallelism: usize| {
+            let mut stream = CdrStream::new(config, 13);
+            let mut r = runner(&graph, 6, parallelism, 13).serve_workload(QueryWorkload::new(
+                QueryMix::CommunityBiased,
+                48,
+                21,
+            ));
+            r.drive(&mut stream, 6);
+            r.serve_timeline().to_vec()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(4));
+        let hops: usize = sequential.iter().map(|s| s.hops).sum();
+        assert!(hops > 0, "scenario too quiet to prove anything");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! The serving layer's request vocabulary and per-query accounting.
+
+use apg_graph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// One request against the partitioned graph.
+///
+/// Every query has an *anchor* vertex; the router executes the query at the
+/// partition owning the anchor (its serving domain) and accounts each
+/// traversal hop as local or remote relative to that domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Query {
+    /// Point read of one vertex (existence, degree, owner). No traversal.
+    VertexLookup(VertexId),
+    /// One-hop read: the anchor's full adjacency list. Each neighbour is
+    /// one hop.
+    Neighborhood(VertexId),
+    /// Bounded traversal: every vertex within `k` hops of the anchor
+    /// (breadth-first). Each *discovered* vertex is one hop.
+    KHop {
+        /// Vertex the traversal starts from.
+        anchor: VertexId,
+        /// Maximum traversal depth (`k = 1` is equivalent to
+        /// [`Query::Neighborhood`] in hop accounting).
+        k: usize,
+    },
+}
+
+impl Query {
+    /// The query's anchor vertex — what the router routes on.
+    pub fn anchor(&self) -> VertexId {
+        match *self {
+            Query::VertexLookup(v) | Query::Neighborhood(v) | Query::KHop { anchor: v, .. } => v,
+        }
+    }
+
+    /// The query's kind (for mix accounting).
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::VertexLookup(_) => QueryKind::VertexLookup,
+            Query::Neighborhood(_) => QueryKind::Neighborhood,
+            Query::KHop { .. } => QueryKind::KHop,
+        }
+    }
+}
+
+/// Discriminant of [`Query`], used by [`crate::ServeStats`] to report the
+/// served mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Point read.
+    VertexLookup,
+    /// One-hop adjacency read.
+    Neighborhood,
+    /// Bounded breadth-first traversal.
+    KHop,
+}
+
+/// What answering one query cost and produced.
+///
+/// A *hop* is one vertex reached by the traversal (a neighbour returned by
+/// a [`Query::Neighborhood`], a vertex discovered by a [`Query::KHop`]);
+/// it is **local** when the reached vertex lives in the anchor's partition
+/// — the query's serving domain — and **remote** when fetching it would
+/// cross a partition boundary. [`Query::VertexLookup`] performs no
+/// traversal and contributes zero hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryOutcome {
+    /// Whether the anchor was a live vertex (tombstoned anchors answer
+    /// empty — the stream may race with removals).
+    pub found: bool,
+    /// Vertices in the result: 1 for a successful lookup, the neighbour
+    /// count for a neighborhood read, the number of vertices within `k`
+    /// hops (anchor excluded) for a traversal.
+    pub result_size: usize,
+    /// Traversal hops performed.
+    pub hops: usize,
+    /// Hops whose reached vertex lives in the anchor's partition.
+    pub local_hops: usize,
+}
+
+impl QueryOutcome {
+    /// An empty outcome for a query whose anchor is not live.
+    pub fn missing() -> Self {
+        QueryOutcome {
+            found: false,
+            result_size: 0,
+            hops: 0,
+            local_hops: 0,
+        }
+    }
+
+    /// Hops that crossed the serving-domain boundary.
+    pub fn remote_hops(&self) -> usize {
+        self.hops - self.local_hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_and_kind_agree_across_variants() {
+        let qs = [
+            Query::VertexLookup(3),
+            Query::Neighborhood(3),
+            Query::KHop { anchor: 3, k: 2 },
+        ];
+        for q in qs {
+            assert_eq!(q.anchor(), 3);
+        }
+        assert_eq!(qs[0].kind(), QueryKind::VertexLookup);
+        assert_eq!(qs[1].kind(), QueryKind::Neighborhood);
+        assert_eq!(qs[2].kind(), QueryKind::KHop);
+    }
+
+    #[test]
+    fn missing_outcome_is_empty() {
+        let o = QueryOutcome::missing();
+        assert!(!o.found);
+        assert_eq!(
+            (o.result_size, o.hops, o.local_hops, o.remote_hops()),
+            (0, 0, 0, 0)
+        );
+    }
+}

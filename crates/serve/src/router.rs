@@ -1,0 +1,268 @@
+//! The query router: read-only execution over a partitioned graph
+//! snapshot.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use apg_exec::fanout;
+use apg_graph::{DynGraph, Graph, VertexId};
+use apg_partition::Partitioning;
+
+use crate::query::{Query, QueryOutcome};
+use crate::stats::ServeStats;
+use crate::workload::QueryWorkload;
+
+/// Routes queries to their anchor's serving domain and executes them
+/// against a borrowed `(graph, assignment)` snapshot.
+///
+/// The router holds shared borrows only — it can never mutate the graph or
+/// the assignment, which is what lets the streaming runner interleave serve
+/// rounds between batches and assert afterwards that serving dirtied
+/// nothing. Each query executes at the partition owning its anchor; every
+/// vertex the traversal reaches is one *hop*, **local** when that vertex
+/// lives in the anchor's partition and **remote** otherwise.
+///
+/// See the [crate docs](crate) for a worked example.
+pub struct QueryRouter<'a> {
+    graph: &'a DynGraph,
+    assignment: &'a Partitioning,
+}
+
+impl<'a> QueryRouter<'a> {
+    /// A router over the given snapshot. The assignment must cover every
+    /// vertex slot of the graph (checked on each query in debug builds).
+    pub fn new(graph: &'a DynGraph, assignment: &'a Partitioning) -> Self {
+        debug_assert!(
+            assignment.num_vertices() >= graph.num_vertices(),
+            "assignment covers {} slots but the graph has {}",
+            assignment.num_vertices(),
+            graph.num_vertices()
+        );
+        QueryRouter { graph, assignment }
+    }
+
+    /// Answers one query. Tombstoned anchors yield
+    /// [`QueryOutcome::missing`]; the query stream may race with removals,
+    /// so this is an expected outcome, not an error.
+    pub fn answer(&self, query: &Query) -> QueryOutcome {
+        let anchor = query.anchor();
+        if !self.graph.is_vertex(anchor) {
+            return QueryOutcome::missing();
+        }
+        match *query {
+            Query::VertexLookup(_) => QueryOutcome {
+                found: true,
+                result_size: 1,
+                hops: 0,
+                local_hops: 0,
+            },
+            // A neighborhood read is exactly a 1-hop traversal; routing
+            // both through the same BFS keeps the accounting semantics
+            // identical by construction.
+            Query::Neighborhood(_) => self.k_hop(anchor, 1),
+            Query::KHop { k, .. } => self.k_hop(anchor, k),
+        }
+    }
+
+    /// Every live vertex within `k` hops of `anchor` (anchor excluded), in
+    /// breadth-first discovery order. The reference result the correctness
+    /// tests pin [`Query::KHop`] outcomes against.
+    pub fn k_hop_vertices(&self, anchor: VertexId, k: usize) -> Vec<VertexId> {
+        if !self.graph.is_vertex(anchor) {
+            return Vec::new();
+        }
+        let mut reached = Vec::new();
+        self.bfs(anchor, k, |v, _| reached.push(v));
+        reached
+    }
+
+    /// Bounded BFS with hop accounting. Each *discovered* vertex is one
+    /// hop — a traversal fetches every discovered vertex exactly once, from
+    /// whichever partition owns it.
+    fn k_hop(&self, anchor: VertexId, k: usize) -> QueryOutcome {
+        let home = self.assignment.partition_of(anchor);
+        let mut outcome = QueryOutcome {
+            found: true,
+            result_size: 0,
+            hops: 0,
+            local_hops: 0,
+        };
+        self.bfs(anchor, k, |v, _| {
+            outcome.result_size += 1;
+            outcome.hops += 1;
+            if self.assignment.partition_of(v) == home {
+                outcome.local_hops += 1;
+            }
+        });
+        outcome
+    }
+
+    /// Breadth-first traversal to depth `k`, invoking `visit(vertex,
+    /// depth)` once per discovered vertex (anchor excluded), in discovery
+    /// order. Neighbour lists are sorted, so discovery order — and with it
+    /// every outcome — is deterministic.
+    fn bfs(&self, anchor: VertexId, k: usize, mut visit: impl FnMut(VertexId, usize)) {
+        if k == 0 {
+            return;
+        }
+        let mut seen = vec![false; self.graph.num_vertices()];
+        seen[anchor as usize] = true;
+        let mut frontier = VecDeque::new();
+        frontier.push_back((anchor, 0usize));
+        while let Some((v, depth)) = frontier.pop_front() {
+            for &w in self.graph.neighbors(v) {
+                if seen[w as usize] {
+                    continue;
+                }
+                seen[w as usize] = true;
+                visit(w, depth + 1);
+                if depth + 1 < k {
+                    frontier.push_back((w, depth + 1));
+                }
+            }
+        }
+    }
+
+    /// Serves one round of `workload` and aggregates the outcomes.
+    ///
+    /// Queries are generated for `round`, answered with up to `parallelism`
+    /// threads via the ordered [`fanout`] primitive, and folded into
+    /// [`ServeStats`] in query order — so the result is identical at every
+    /// parallelism level (only `wall_ms`, which equality ignores, may
+    /// differ).
+    pub fn serve_round(
+        &self,
+        workload: &QueryWorkload,
+        round: u64,
+        parallelism: usize,
+    ) -> ServeStats {
+        let started = Instant::now();
+        let queries = workload.generate(self.graph, round);
+        let kinds: Vec<_> = queries.iter().map(|q| q.kind()).collect();
+        let outcomes = fanout::map_items(parallelism, queries, |_, q| self.answer(&q));
+        let mut stats = ServeStats {
+            round,
+            ..ServeStats::default()
+        };
+        for (kind, outcome) in kinds.iter().zip(&outcomes) {
+            stats.absorb(*kind, outcome);
+        }
+        stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::QueryMix;
+
+    /// Two triangles bridged by one edge, split across two partitions:
+    ///
+    /// ```text
+    ///   0 - 1        3 - 4
+    ///    \ /    ==    \ /
+    ///     2 ---------- 5
+    ///   [p0 p0 p0]  [p1 p1 p1]
+    /// ```
+    fn bridged_triangles() -> (DynGraph, Partitioning) {
+        let mut g = DynGraph::with_vertices(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 5)] {
+            g.add_edge(u, v);
+        }
+        let p = Partitioning::from_assignment(vec![0, 0, 0, 1, 1, 1], 2);
+        (g, p)
+    }
+
+    #[test]
+    fn lookup_has_no_hops() {
+        let (g, p) = bridged_triangles();
+        let r = QueryRouter::new(&g, &p);
+        let o = r.answer(&Query::VertexLookup(4));
+        assert!(o.found);
+        assert_eq!((o.result_size, o.hops, o.local_hops), (1, 0, 0));
+    }
+
+    #[test]
+    fn neighborhood_counts_each_neighbor_as_a_hop() {
+        let (g, p) = bridged_triangles();
+        let r = QueryRouter::new(&g, &p);
+        // Vertex 2's neighbours: 0, 1 (local) and 5 (remote).
+        let o = r.answer(&Query::Neighborhood(2));
+        assert_eq!((o.result_size, o.hops, o.local_hops), (3, 3, 2));
+        assert_eq!(o.remote_hops(), 1);
+    }
+
+    #[test]
+    fn khop_counts_discovery_hops_against_the_anchor_domain() {
+        let (g, p) = bridged_triangles();
+        let r = QueryRouter::new(&g, &p);
+        // From 0: depth 1 reaches {1, 2}, depth 2 reaches {5}. 5 is remote.
+        let o = r.answer(&Query::KHop { anchor: 0, k: 2 });
+        assert_eq!((o.hops, o.local_hops), (3, 2));
+        // Depth 3 pulls in the rest of the far triangle.
+        let o = r.answer(&Query::KHop { anchor: 0, k: 3 });
+        assert_eq!((o.hops, o.local_hops), (5, 2));
+    }
+
+    #[test]
+    fn khop_one_equals_neighborhood() {
+        let (g, p) = bridged_triangles();
+        let r = QueryRouter::new(&g, &p);
+        for v in 0..6 {
+            assert_eq!(
+                r.answer(&Query::Neighborhood(v)),
+                r.answer(&Query::KHop { anchor: v, k: 1 }),
+                "anchor {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn khop_zero_reaches_nothing() {
+        let (g, p) = bridged_triangles();
+        let r = QueryRouter::new(&g, &p);
+        let o = r.answer(&Query::KHop { anchor: 0, k: 0 });
+        assert!(o.found);
+        assert_eq!((o.result_size, o.hops), (0, 0));
+    }
+
+    #[test]
+    fn tombstoned_anchor_misses() {
+        let (mut g, p) = bridged_triangles();
+        g.remove_vertex(3);
+        let r = QueryRouter::new(&g, &p);
+        for q in [
+            Query::VertexLookup(3),
+            Query::Neighborhood(3),
+            Query::KHop { anchor: 3, k: 2 },
+        ] {
+            assert_eq!(r.answer(&q), QueryOutcome::missing());
+        }
+        // Traversals route around the tombstone: from 4, depth 2 now only
+        // reaches 5 then 2.
+        let reached = r.k_hop_vertices(4, 2);
+        assert_eq!(reached, vec![5, 2]);
+    }
+
+    #[test]
+    fn k_hop_vertices_is_discovery_ordered() {
+        let (g, p) = bridged_triangles();
+        let r = QueryRouter::new(&g, &p);
+        assert_eq!(r.k_hop_vertices(0, 1), vec![1, 2]);
+        assert_eq!(r.k_hop_vertices(0, 2), vec![1, 2, 5]);
+        assert_eq!(r.k_hop_vertices(0, 9), vec![1, 2, 5, 3, 4]);
+    }
+
+    #[test]
+    fn serve_round_is_parallelism_invariant() {
+        let (g, p) = bridged_triangles();
+        let r = QueryRouter::new(&g, &p);
+        let w = QueryWorkload::new(QueryMix::Uniform, 64, 11);
+        let serial = r.serve_round(&w, 5, 1);
+        assert_eq!(serial, r.serve_round(&w, 5, 2));
+        assert_eq!(serial, r.serve_round(&w, 5, 8));
+        assert_eq!(serial.queries, 64);
+        assert_eq!(serial.round, 5);
+    }
+}

@@ -27,8 +27,13 @@
 //! * [`persist`] — the durable-state layer: a versioned binary codec and
 //!   framed snapshot/log/checkpoint formats behind `apg-core`'s
 //!   checkpoint/resume API (restartable streams).
+//! * [`serve`] — the partition-aware query serving layer: a router
+//!   answering vertex/neighborhood/k-hop queries against the live
+//!   partitioned graph between streaming batches, accounting every
+//!   traversal hop as local or remote to the anchor's partition.
 //! * [`mod@bench`] — the experiment drivers behind the `fig1`…`fig9`, `table1`,
-//!   `ablation` and `all` binaries regenerating the paper's evaluation.
+//!   `ablation`, `serve` and `all` binaries regenerating the paper's
+//!   evaluation.
 //!
 //! # Quickstart
 //!
@@ -54,18 +59,54 @@ pub use apg_metis as metis;
 pub use apg_partition as partition;
 pub use apg_persist as persist;
 pub use apg_pregel as pregel;
+pub use apg_serve as serve;
 pub use apg_streams as streams;
 
-/// Most-used items in one import.
+/// Most-used items in one import — **the blessed import path**.
+///
+/// Re-exports are grouped by layer, bottom-up: substrate → partition state
+/// → heuristic → streaming → serving → engine. Anything importable both
+/// from here and from a root-level alias should be imported from here; the
+/// root aliases are deprecated.
 pub mod prelude {
-    pub use apg_core::{
-        AdaptiveConfig, AdaptivePartitioner, ConvergenceReport, StreamCheckpoint, StreamingRunner,
-        TimelineStats,
-    };
+    // ── Graph substrate ────────────────────────────────────────────────
+    /// Static (CSR) and dynamic graphs, mutations, and the delta model.
     pub use apg_graph::{
         ApplyReport, CsrGraph, DeltaLog, DynGraph, Graph, GraphDelta, UpdateBatch, VertexId,
     };
+
+    // ── Partition state & metrics ──────────────────────────────────────
+    /// Assignments, cut metrics, and the paper's four initial strategies.
     pub use apg_partition::{cut_edges, cut_ratio, InitialStrategy, PartitionId, Partitioning};
-    pub use apg_pregel::{Context, CostModel, Engine, EngineBuilder, MutationBatch, VertexProgram};
+
+    // ── The adaptive heuristic ─────────────────────────────────────────
+    /// Configuration (validating builder + typed error) and the iterative
+    /// vertex-migration partitioner.
+    pub use apg_core::{
+        AdaptiveConfig, AdaptiveConfigBuilder, AdaptivePartitioner, ConfigError, ConvergenceReport,
+    };
+
+    // ── Streaming ingestion & durability ───────────────────────────────
+    /// Batched churn driving the partitioner, plus checkpoint/resume.
+    pub use apg_core::{StreamCheckpoint, StreamingRunner, TimelineStats};
     pub use apg_streams::{RestartableSource, SourceCursor, StreamSource};
+
+    // ── Query serving ──────────────────────────────────────────────────
+    /// The partition-aware serving layer: deterministic workloads routed
+    /// to each anchor's owning partition, with local/remote hop accounting.
+    pub use apg_serve::{Query, QueryMix, QueryRouter, QueryWorkload, ServeStats};
+
+    // ── Pregel-like engine ─────────────────────────────────────────────
+    /// The BSP engine with the paper's partitioning API extension.
+    pub use apg_pregel::{Context, CostModel, Engine, EngineBuilder, MutationBatch, VertexProgram};
 }
+
+// Historical root-level aliases. Each duplicates a `prelude` item; they are
+// kept so `apg::AdaptiveConfig`-style paths keep compiling, but the prelude
+// is the one blessed import path.
+#[deprecated(note = "import from `apg::prelude` instead")]
+pub use apg_core::{AdaptiveConfig, AdaptivePartitioner, StreamingRunner};
+#[deprecated(note = "import from `apg::prelude` instead")]
+pub use apg_graph::DynGraph;
+#[deprecated(note = "import from `apg::prelude` instead")]
+pub use apg_partition::Partitioning;

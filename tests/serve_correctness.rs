@@ -1,0 +1,209 @@
+//! Correctness and determinism of the partition-aware serving layer.
+//!
+//! Two contracts:
+//!
+//! 1. **Traversal correctness** — `Query::KHop` answered by the router is
+//!    equivalent to a brute-force BFS over the same snapshot: the same
+//!    vertex set, and hop/locality accounting that re-derives from the
+//!    assignment. Pinned by proptest over random graphs with interleaved
+//!    `UpdateBatch` churn, so the equivalence holds mid-stream, not just on
+//!    pristine graphs.
+//! 2. **Serve-timeline determinism** — a streaming run with an interleaved
+//!    serve phase produces a byte-identical `ServeStats` timeline at
+//!    `parallelism` = 1, 2 and 8 (same pinning style as
+//!    `streaming_determinism.rs`).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use apg::core::{AdaptiveConfig, AdaptivePartitioner, StreamingRunner};
+use apg::graph::{DynGraph, Graph, UpdateBatch, VertexId};
+use apg::partition::InitialStrategy;
+use apg::prelude::{Query, QueryMix, QueryRouter, QueryWorkload, ServeStats};
+use apg::streams::{CdrConfig, CdrStream};
+
+/// Reference implementation: plain BFS to depth `k`, no shared code with
+/// the router's traversal beyond the graph API.
+fn brute_force_khop(g: &DynGraph, anchor: VertexId, k: usize) -> BTreeSet<VertexId> {
+    let mut reached = BTreeSet::new();
+    if !g.is_vertex(anchor) {
+        return reached;
+    }
+    let mut frontier = vec![anchor];
+    let mut seen: BTreeSet<VertexId> = [anchor].into();
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &w in g.neighbors(v) {
+                if seen.insert(w) {
+                    reached.insert(w);
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+    reached
+}
+
+/// Turns a fuzzed op-stream into `UpdateBatch`es of at most `chunk` deltas
+/// (same scheme as `proptest_invariants.rs`).
+fn batches_from_ops(ops: &[(u8, u32, u32)], base_slots: usize, chunk: usize) -> Vec<UpdateBatch> {
+    let mut out = Vec::new();
+    let mut batch = UpdateBatch::new();
+    let mut slots = base_slots;
+    for &(op, a, b) in ops {
+        let range = (slots + batch.num_new_vertices()).max(1) as u32;
+        match op {
+            0 => {
+                batch.add_vertex(vec![a % range]);
+            }
+            1 => batch.add_edge(a % range, b % range),
+            2 => batch.remove_edge(a % range, b % range),
+            3 => batch.remove_vertex(a % range),
+            _ => {
+                let n = batch.num_new_vertices();
+                if n >= 2 {
+                    batch.connect_new(a as usize % n, b as usize % n);
+                }
+            }
+        }
+        if batch.len() >= chunk {
+            slots += batch.num_new_vertices();
+            out.push(std::mem::take(&mut batch));
+        }
+    }
+    if !batch.is_empty() {
+        out.push(batch);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every churn batch, `KHop` answered by the router equals a
+    /// brute-force BFS on the same snapshot — same vertex set, hop count =
+    /// set size, and local hops re-derived from the assignment.
+    #[test]
+    fn khop_matches_brute_force_bfs_under_churn(
+        n in 4usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..120),
+        ops in proptest::collection::vec((0u8..5, 0u32..64, 0u32..64), 0..80),
+        k in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut graph = DynGraph::with_vertices(n);
+        for &(u, v) in &edges {
+            if (u as usize) < n && (v as usize) < n {
+                graph.add_edge(u, v);
+            }
+        }
+        let config = AdaptiveConfig::builder(3).parallelism(1).build().unwrap();
+        let mut partitioner =
+            AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &config, seed);
+
+        for batch in batches_from_ops(&ops, n, 16) {
+            partitioner.apply_batch(&batch);
+            partitioner.iterate();
+            let g = partitioner.graph();
+            let p = partitioner.partitioning();
+            let router = QueryRouter::new(g, p);
+            for anchor in g.vertices().take(12) {
+                let reference = brute_force_khop(g, anchor, k);
+                let reached: BTreeSet<VertexId> =
+                    router.k_hop_vertices(anchor, k).into_iter().collect();
+                prop_assert_eq!(&reached, &reference, "anchor {} depth {}", anchor, k);
+
+                let outcome = router.answer(&Query::KHop { anchor, k });
+                prop_assert!(outcome.found);
+                prop_assert_eq!(outcome.result_size, reference.len());
+                prop_assert_eq!(outcome.hops, reference.len());
+                let home = p.partition_of(anchor);
+                let local = reference
+                    .iter()
+                    .filter(|&&v| p.partition_of(v) == home)
+                    .count();
+                prop_assert_eq!(outcome.local_hops, local);
+            }
+        }
+    }
+
+    /// `Neighborhood` is exactly `KHop { k: 1 }` — both results and
+    /// accounting — on any churned snapshot.
+    #[test]
+    fn neighborhood_is_one_hop(
+        n in 4usize..32,
+        edges in proptest::collection::vec((0u32..32, 0u32..32), 1..80),
+        seed in 0u64..500,
+    ) {
+        let mut graph = DynGraph::with_vertices(n);
+        for &(u, v) in &edges {
+            if (u as usize) < n && (v as usize) < n {
+                graph.add_edge(u, v);
+            }
+        }
+        let config = AdaptiveConfig::builder(4).parallelism(1).build().unwrap();
+        let partitioner =
+            AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &config, seed);
+        let router = QueryRouter::new(partitioner.graph(), partitioner.partitioning());
+        for anchor in partitioner.graph().vertices() {
+            prop_assert_eq!(
+                router.answer(&Query::Neighborhood(anchor)),
+                router.answer(&Query::KHop { anchor, k: 1 })
+            );
+        }
+    }
+}
+
+/// One streaming run with an interleaved serve phase; returns the serve
+/// timeline.
+fn serve_timeline(parallelism: usize, mix: QueryMix) -> Vec<ServeStats> {
+    const SEED: u64 = 31;
+    let config = CdrConfig {
+        initial_subscribers: 3_000,
+        ..CdrConfig::default()
+    };
+    let graph = DynGraph::with_vertices(config.initial_subscribers);
+    let cfg = AdaptiveConfig::new(8).parallelism(parallelism);
+    let mut runner = StreamingRunner::new(AdaptivePartitioner::with_strategy(
+        &graph,
+        InitialStrategy::Hash,
+        &cfg,
+        SEED,
+    ))
+    .iterations_per_batch(3)
+    .serve_workload(QueryWorkload::new(mix, 96, SEED ^ 0xBEEF).khop_depth(3));
+    runner.drive(&mut CdrStream::new(config, SEED), 12);
+    runner.serve_timeline().to_vec()
+}
+
+/// The serve timeline is byte-identical at parallelism 1, 2 and 8, for
+/// every query mix — and the projection check pins every deterministic
+/// field, not just `ServeStats` equality.
+#[test]
+fn serve_timeline_is_parallelism_invariant() {
+    for mix in [
+        QueryMix::Uniform,
+        QueryMix::DegreeBiased,
+        QueryMix::CommunityBiased,
+    ] {
+        let sequential = serve_timeline(1, mix);
+        assert_eq!(sequential.len(), 12);
+        for parallelism in [2, 8] {
+            let parallel = serve_timeline(parallelism, mix);
+            assert_eq!(sequential, parallel, "{mix:?} at parallelism {parallelism}");
+            for (a, b) in sequential.iter().zip(&parallel) {
+                assert_eq!(
+                    a.deterministic_fields(),
+                    b.deterministic_fields(),
+                    "{mix:?} round {} fields drifted",
+                    a.round
+                );
+            }
+        }
+        let hops: usize = sequential.iter().map(|s| s.hops).sum();
+        assert!(hops > 0, "{mix:?} scenario too quiet to prove anything");
+    }
+}
