@@ -63,6 +63,10 @@ pub struct PersistRow {
 /// Full experiment output.
 #[derive(Debug, Clone)]
 pub struct PersistResult {
+    /// Scale name (`tiny` / `quick` / `paper`) the run was sized by.
+    pub scale: &'static str,
+    /// Hardware threads the host reports.
+    pub threads_available: usize,
     /// Repetitions per row.
     pub reps: usize,
     /// Subscribers at stream start.
@@ -202,6 +206,8 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> PersistResult {
     }
 
     PersistResult {
+        scale: scale.name(),
+        threads_available: apg_exec::available_parallelism(),
         reps,
         subscribers,
         batches,
@@ -216,6 +222,10 @@ pub fn to_json(result: &PersistResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"checkpoint-overhead\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\", \"threads_available\": {},\n",
+        result.scale, result.threads_available
+    ));
     out.push_str(&format!(
         "  \"reps\": {}, \"subscribers\": {}, \"batches\": {}, \"k\": {}, \
          \"iterations_per_batch\": {},\n",

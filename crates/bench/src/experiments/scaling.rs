@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use apg_core::{AdaptiveConfig, AdaptivePartitioner, IterationStats};
 use apg_graph::{gen, CsrGraph, DynGraph, Graph, UpdateBatch};
-use apg_partition::InitialStrategy;
+use apg_partition::{cut_edges, cut_edges_sharded, InitialStrategy};
 use apg_streams::{forest_fire_delta, ForestFireConfig};
 
 use crate::Scale;
@@ -29,12 +29,13 @@ const K: u16 = 8;
 
 /// Power-law vertex count per scale. `Quick` (the default) already runs the
 /// ≥100k-vertex configuration the scaling claim is about; `Tiny` exists for
-/// tests.
+/// tests; `Paper` stresses the million-vertex regime the parallel apply and
+/// sharded recount paths target.
 pub fn vertices(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 10_000,
         Scale::Quick => 100_000,
-        Scale::Paper => 250_000,
+        Scale::Paper => 1_000_000,
     }
 }
 
@@ -86,6 +87,12 @@ pub struct ScalingRow {
     /// Wall-clock over the iteration work (graph/partitioner construction
     /// excluded), summarised over repetitions.
     pub wall_ms: WallStats,
+    /// Apply-phase share of the iteration work ([`SweepProfile::apply_ms`]
+    /// summed over the run's iterations), summarised over repetitions —
+    /// the phase the sharded apply parallelises.
+    ///
+    /// [`SweepProfile::apply_ms`]: apg_core::SweepProfile::apply_ms
+    pub apply_ms: WallStats,
     /// Cut ratio after each iteration (identical across thread counts).
     pub cut_trajectory: Vec<f64>,
     /// Total migrations over the run (identical across thread counts).
@@ -95,9 +102,22 @@ pub struct ScalingRow {
     pub fingerprint: u64,
 }
 
+/// Timing of one full-graph cut recount (`cut_edges_sharded`) at one
+/// thread count — the cost `AdaptivePartitioner::from_parts` and restore
+/// pay once per construction.
+#[derive(Debug, Clone)]
+pub struct RecountRow {
+    /// Shard-fanout threads.
+    pub threads: usize,
+    /// Wall-clock per recount, summarised over repetitions.
+    pub wall_ms: WallStats,
+}
+
 /// Full experiment output.
 #[derive(Debug, Clone)]
 pub struct ScalingResult {
+    /// Scale name (`tiny` / `quick` / `paper`) the run was sized by.
+    pub scale: &'static str,
     /// Vertices in the base power-law graph.
     pub vertices: usize,
     /// Edges in the base power-law graph.
@@ -110,6 +130,13 @@ pub struct ScalingResult {
     pub threads_available: usize,
     /// One row per (scenario, thread count).
     pub rows: Vec<ScalingRow>,
+    /// Sharded cut-recount timing, one row per thread count; every
+    /// recount's result is checked against the serial `cut_edges`.
+    pub recount: Vec<RecountRow>,
+    /// Whether the sharded apply reproduced the serial `apply_move`
+    /// timeline exactly (histories compared per scenario) — the
+    /// equivalence contract of the parallel apply path.
+    pub apply_parallel_equals_serial: bool,
 }
 
 impl ScalingResult {
@@ -150,8 +177,30 @@ fn fingerprint(history: &[IterationStats]) -> u64 {
     }))
 }
 
-fn config(threads: usize) -> AdaptiveConfig {
-    AdaptiveConfig::new(K).parallelism(threads)
+fn config(threads: usize, serial_apply: bool) -> AdaptiveConfig {
+    AdaptiveConfig::new(K)
+        .parallelism(threads)
+        .apply_serial(serial_apply)
+}
+
+/// One measured run: `(history, wall_ms, apply_ms)` where `apply_ms` is
+/// the apply-phase share summed over the run's iterations.
+type Measured = (Vec<IterationStats>, f64, f64);
+
+/// Profiled `run_for`: drives `iters` iterations, accumulating the
+/// apply-phase wall-clock alongside the history.
+fn run_profiled(
+    p: &mut AdaptivePartitioner,
+    iters: usize,
+    apply_ms: &mut f64,
+) -> Vec<IterationStats> {
+    (0..iters)
+        .map(|_| {
+            let (stats, profile) = p.iterate_profiled();
+            *apply_ms += profile.apply_ms;
+            stats
+        })
+        .collect()
 }
 
 /// Static power-law refinement: `iters` iterations from a hash assignment.
@@ -159,14 +208,16 @@ fn run_powerlaw(
     graph: &CsrGraph,
     _burst: &UpdateBatch,
     threads: usize,
+    serial_apply: bool,
     seed: u64,
     iters: usize,
-) -> (Vec<IterationStats>, f64) {
-    let mut p =
-        AdaptivePartitioner::with_strategy(graph, InitialStrategy::Hash, &config(threads), seed);
+) -> Measured {
+    let cfg = config(threads, serial_apply);
+    let mut p = AdaptivePartitioner::with_strategy(graph, InitialStrategy::Hash, &cfg, seed);
+    let mut apply_ms = 0.0;
     let start = Instant::now();
-    let history = p.run_for(iters);
-    (history, start.elapsed().as_secs_f64() * 1e3)
+    let history = run_profiled(&mut p, iters, &mut apply_ms);
+    (history, start.elapsed().as_secs_f64() * 1e3, apply_ms)
 }
 
 /// Dynamic absorption: refine briefly, replay the precomputed +10%
@@ -179,17 +230,19 @@ fn run_burst(
     graph: &CsrGraph,
     burst: &UpdateBatch,
     threads: usize,
+    serial_apply: bool,
     seed: u64,
     iters: usize,
-) -> (Vec<IterationStats>, f64) {
+) -> Measured {
     let warm = iters / 3;
-    let mut p =
-        AdaptivePartitioner::with_strategy(graph, InitialStrategy::Hash, &config(threads), seed);
+    let cfg = config(threads, serial_apply);
+    let mut p = AdaptivePartitioner::with_strategy(graph, InitialStrategy::Hash, &cfg, seed);
+    let mut apply_ms = 0.0;
     let start = Instant::now();
-    let mut history = p.run_for(warm);
+    let mut history = run_profiled(&mut p, warm, &mut apply_ms);
     p.apply_batch(burst);
-    history.extend(p.run_for(iters - warm));
-    (history, start.elapsed().as_secs_f64() * 1e3)
+    history.extend(run_profiled(&mut p, iters - warm, &mut apply_ms));
+    (history, start.elapsed().as_secs_f64() * 1e3, apply_ms)
 }
 
 /// Precomputes the +10% forest-fire burst over the base graph as one
@@ -208,39 +261,78 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> ScalingResult {
     let graph = gen::holme_kim(n, 8, 0.1, seed);
     let edges = graph.num_edges();
     let burst = burst_update_batch(&graph, seed);
+    let reps = reps.max(1);
 
-    type Scenario = fn(&CsrGraph, &UpdateBatch, usize, u64, usize) -> (Vec<IterationStats>, f64);
+    type Scenario = fn(&CsrGraph, &UpdateBatch, usize, bool, u64, usize) -> Measured;
     let scenarios: [(&'static str, Scenario); 2] =
         [("powerlaw", run_powerlaw), ("forest-fire-burst", run_burst)];
 
     let mut rows = Vec::new();
+    let mut apply_parallel_equals_serial = true;
     for (name, scenario) in scenarios {
         for &threads in &THREADS {
-            let mut samples = Vec::with_capacity(reps.max(1));
+            let mut samples = Vec::with_capacity(reps);
+            let mut apply_samples = Vec::with_capacity(reps);
             let mut history = Vec::new();
-            for _ in 0..reps.max(1) {
-                let (h, ms) = scenario(&graph, &burst, threads, seed, iters);
+            for _ in 0..reps {
+                let (h, ms, apply) = scenario(&graph, &burst, threads, false, seed, iters);
                 samples.push(ms);
+                apply_samples.push(apply);
                 history = h;
             }
             rows.push(ScalingRow {
                 scenario: name,
                 threads,
                 wall_ms: WallStats::from_samples(&samples),
+                apply_ms: WallStats::from_samples(&apply_samples),
                 cut_trajectory: history.iter().map(|s| s.cut_ratio()).collect(),
                 total_migrations: history.iter().map(|s| s.migrations).sum(),
                 fingerprint: fingerprint(&history),
             });
         }
+        // Equivalence arm: one serial-apply run at the widest fan-out must
+        // reproduce the parallel rows' history bit-for-bit.
+        let widest = *THREADS.last().expect("THREADS is non-empty");
+        let (serial_history, _, _) = scenario(&graph, &burst, widest, true, seed, iters);
+        let serial_print = fingerprint(&serial_history);
+        apply_parallel_equals_serial &= rows
+            .iter()
+            .filter(|r| r.scenario == name)
+            .all(|r| r.fingerprint == serial_print);
+    }
+
+    // Sharded recount timing: the one-shot cost `from_parts`/restore pays.
+    // Every timed recount is also checked against the serial count, so a
+    // wrong-but-fast recount cannot post a good number.
+    let assignment =
+        AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &config(1, false), seed);
+    let partitioning = assignment.partitioning().clone();
+    let serial_cut = cut_edges(&graph, &partitioning);
+    let mut recount = Vec::new();
+    for &threads in &THREADS {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            let sharded = cut_edges_sharded(&graph, &partitioning, threads);
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(sharded, serial_cut, "sharded recount diverged");
+        }
+        recount.push(RecountRow {
+            threads,
+            wall_ms: WallStats::from_samples(&samples),
+        });
     }
 
     ScalingResult {
+        scale: scale.name(),
         vertices: n,
         edges,
-        reps: reps.max(1),
+        reps,
         iterations: iters,
         threads_available: apg_exec::available_parallelism(),
         rows,
+        recount,
+        apply_parallel_equals_serial,
     }
 }
 
@@ -256,12 +348,16 @@ pub fn to_json(result: &ScalingResult) -> String {
         result.vertices, result.edges
     ));
     out.push_str(&format!(
-        "  \"reps\": {}, \"iterations\": {}, \"threads_available\": {},\n",
-        result.reps, result.iterations, result.threads_available
+        "  \"scale\": \"{}\", \"reps\": {}, \"iterations\": {}, \"threads_available\": {},\n",
+        result.scale, result.reps, result.iterations, result.threads_available
     ));
     out.push_str(&format!(
         "  \"deterministic_across_threads\": {},\n",
         result.deterministic_across_threads()
+    ));
+    out.push_str(&format!(
+        "  \"apply_parallel_equals_serial\": {},\n",
+        result.apply_parallel_equals_serial
     ));
     out.push_str("  \"rows\": [\n");
     for (i, row) in result.rows.iter().enumerate() {
@@ -274,6 +370,7 @@ pub fn to_json(result: &ScalingResult) -> String {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"threads\": {}, \
              \"wall_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"median\": {:.3}}}, \
+             \"apply_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"median\": {:.3}}}, \
              \"total_migrations\": {}, \"history_fingerprint\": \"{:016x}\", \
              \"cut_trajectory\": [{}]}}{}\n",
             row.scenario,
@@ -281,10 +378,30 @@ pub fn to_json(result: &ScalingResult) -> String {
             row.wall_ms.mean,
             row.wall_ms.min,
             row.wall_ms.median,
+            row.apply_ms.mean,
+            row.apply_ms.min,
+            row.apply_ms.median,
             row.total_migrations,
             row.fingerprint,
             trajectory,
             if i + 1 < result.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recount\": [\n");
+    for (i, row) in result.recount.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \
+             \"wall_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"median\": {:.3}}}}}{}\n",
+            row.threads,
+            row.wall_ms.mean,
+            row.wall_ms.min,
+            row.wall_ms.median,
+            if i + 1 < result.recount.len() {
+                ","
+            } else {
+                ""
+            },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -294,12 +411,12 @@ pub fn to_json(result: &ScalingResult) -> String {
 /// Prints the scaling table with speedups relative to one thread.
 pub fn print(result: &ScalingResult) {
     println!(
-        "Thread scaling: {}-vertex / {}-edge power-law, {} iterations, k = {K}, {} reps (host has {} hardware threads)",
-        result.vertices, result.edges, result.iterations, result.reps, result.threads_available
+        "Thread scaling ({} scale): {}-vertex / {}-edge power-law, {} iterations, k = {K}, {} reps (host has {} hardware threads)",
+        result.scale, result.vertices, result.edges, result.iterations, result.reps, result.threads_available
     );
     println!(
-        "{:>18} {:>8} {:>11} {:>11} {:>11} {:>9} {:>10}",
-        "scenario", "threads", "min ms", "median ms", "mean ms", "speedup", "final cut"
+        "{:>18} {:>8} {:>11} {:>11} {:>11} {:>9} {:>11} {:>10}",
+        "scenario", "threads", "min ms", "median ms", "mean ms", "speedup", "apply ms", "final cut"
     );
     let mut base_min = 0.0f64;
     for row in &result.rows {
@@ -307,20 +424,45 @@ pub fn print(result: &ScalingResult) {
             base_min = row.wall_ms.min;
         }
         println!(
-            "{:>18} {:>8} {:>11.1} {:>11.1} {:>11.1} {:>8.2}x {:>10.4}",
+            "{:>18} {:>8} {:>11.1} {:>11.1} {:>11.1} {:>8.2}x {:>11.2} {:>10.4}",
             row.scenario,
             row.threads,
             row.wall_ms.min,
             row.wall_ms.median,
             row.wall_ms.mean,
             base_min / row.wall_ms.min,
+            row.apply_ms.min,
             row.cut_trajectory.last().copied().unwrap_or(0.0),
+        );
+    }
+    println!("full-graph cut recount (from_parts / restore cost):");
+    let mut recount_base = 0.0f64;
+    for row in &result.recount {
+        if row.threads == 1 {
+            recount_base = row.wall_ms.min;
+        }
+        println!(
+            "{:>18} {:>8} {:>11.2} {:>11.2} {:>11.2} {:>8.2}x",
+            "recount",
+            row.threads,
+            row.wall_ms.min,
+            row.wall_ms.median,
+            row.wall_ms.mean,
+            recount_base / row.wall_ms.min.max(1e-3),
         );
     }
     println!(
         "history identical across thread counts: {}",
         if result.deterministic_across_threads() {
             "yes (determinism contract holds)"
+        } else {
+            "NO — INVESTIGATE"
+        }
+    );
+    println!(
+        "parallel apply matches serial apply: {}",
+        if result.apply_parallel_equals_serial {
+            "yes (equivalence contract holds)"
         } else {
             "NO — INVESTIGATE"
         }
@@ -336,6 +478,11 @@ mod tests {
         let result = run(Scale::Tiny, 1, 5);
         assert_eq!(result.rows.len(), 2 * THREADS.len());
         assert!(result.deterministic_across_threads());
+        assert!(
+            result.apply_parallel_equals_serial,
+            "sharded apply diverged from the serial apply"
+        );
+        assert_eq!(result.recount.len(), THREADS.len());
         // The trajectories, not just the fingerprints, must agree.
         for scenario in ["powerlaw", "forest-fire-burst"] {
             let rows: Vec<_> = result
@@ -363,5 +510,14 @@ mod tests {
             "unbalanced JSON:\n{json}"
         );
         assert!(json.contains("\"deterministic_across_threads\": true"));
+        assert!(json.contains("\"apply_parallel_equals_serial\": true"));
+        assert!(json.contains("\"scale\": \"tiny\""));
+        assert!(json.contains("\"threads_available\""));
+        assert_eq!(json.matches("\"apply_ms\"").count(), result.rows.len());
+        assert_eq!(
+            json.matches("\"recount\"").count(),
+            1,
+            "recount section missing"
+        );
     }
 }

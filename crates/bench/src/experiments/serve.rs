@@ -195,6 +195,10 @@ impl ScenarioResult {
 /// Full experiment output.
 #[derive(Debug, Clone)]
 pub struct ServeResult {
+    /// Scale name (`tiny` / `quick` / `paper`) the run was sized by.
+    pub scale: &'static str,
+    /// Hardware threads the host reports.
+    pub threads_available: usize,
     /// Subscribers at stream start.
     pub subscribers: usize,
     /// Queries served per round.
@@ -334,6 +338,8 @@ pub fn run(scale: Scale, seed: u64) -> ServeResult {
     let parallelism_invariant = t1 == witness(2) && t1 == witness(8);
 
     ServeResult {
+        scale: scale.name(),
+        threads_available: apg_exec::available_parallelism(),
         subscribers: base.initial_subscribers,
         queries_per_round: queries_per_round(scale),
         batches: batches(scale),
@@ -354,6 +360,10 @@ pub fn to_json(result: &ServeResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"serving-locality\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\", \"threads_available\": {},\n",
+        result.scale, result.threads_available
+    ));
     out.push_str(&format!(
         "  \"stream\": {{\"family\": \"cdr\", \"subscribers\": {}, \"batches\": {}}},\n",
         result.subscribers, result.batches

@@ -105,6 +105,10 @@ pub struct StreamingRow {
 /// Full experiment output.
 #[derive(Debug, Clone)]
 pub struct StreamingResult {
+    /// Scale name (`tiny` / `quick` / `paper`) the run was sized by.
+    pub scale: &'static str,
+    /// Hardware threads the host reports.
+    pub threads_available: usize,
     /// Repetitions per row.
     pub reps: usize,
     /// Repartitioning iterations per batch.
@@ -252,6 +256,8 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> StreamingResult {
         });
     }
     StreamingResult {
+        scale: scale.name(),
+        threads_available: threads,
         reps,
         iterations_per_batch: ITERS_PER_BATCH,
         k: K,
@@ -266,6 +272,10 @@ pub fn to_json(result: &StreamingResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"streaming-ingestion\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\", \"threads_available\": {},\n",
+        result.scale, result.threads_available
+    ));
     out.push_str(&format!(
         "  \"reps\": {}, \"iterations_per_batch\": {}, \"k\": {}, \"threads\": {},\n",
         result.reps, result.iterations_per_batch, result.k, result.threads

@@ -46,7 +46,7 @@ pub fn vertices(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 8_000,
         Scale::Quick => 100_000,
-        Scale::Paper => 250_000,
+        Scale::Paper => 1_000_000,
     }
 }
 
@@ -143,6 +143,10 @@ pub struct ModeResult {
 /// Full experiment output.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
+    /// Scale name (`tiny` / `quick` / `paper`) the run was sized by.
+    pub scale: &'static str,
+    /// Hardware threads the host reports.
+    pub threads_available: usize,
     /// Vertices in the base power-law graph.
     pub vertices: usize,
     /// Edges in the base power-law graph.
@@ -288,6 +292,8 @@ pub fn run(scale: Scale, seed: u64) -> SweepResult {
         run_mode(&graph, &churn, scale, seed, true),
     ];
     SweepResult {
+        scale: scale.name(),
+        threads_available: apg_exec::available_parallelism(),
         vertices: n,
         edges: graph.num_edges(),
         refine_iterations: refine_iterations(scale),
@@ -320,6 +326,10 @@ pub fn to_json(result: &SweepResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"active-set-sweep\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\", \"threads_available\": {},\n",
+        result.scale, result.threads_available
+    ));
     out.push_str(&format!(
         "  \"graph\": {{\"family\": \"holme-kim-powerlaw\", \"vertices\": {}, \"edges\": {}}},\n",
         result.vertices, result.edges
@@ -451,5 +461,7 @@ mod tests {
             "unbalanced JSON:\n{json}"
         );
         assert!(json.contains("\"identical_cut_trajectories\": true"));
+        assert!(json.contains("\"scale\": \"tiny\""));
+        assert!(json.contains("\"threads_available\""));
     }
 }

@@ -27,6 +27,16 @@ impl Scale {
         }
     }
 
+    /// Canonical lowercase name, as recorded in `BENCH_*.json` headers so
+    /// every artefact is self-describing about the scale it ran at.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// Repetitions for mean ± SEM reporting (paper uses n = 10).
     pub fn reps(&self) -> usize {
         match self {
@@ -97,6 +107,13 @@ mod tests {
         assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
         assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
         assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Paper] {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub enum ConfigError {
     CapacityFactorBelowOne(f64),
     /// `parallelism == 0`: the decision sweep needs at least one thread.
     ZeroParallelism,
+    /// Drain floor outside `[0, 1)` (carries the offending fraction).
+    /// `1.0` is rejected because a batch whose active set never dips below
+    /// the whole graph would skip every iteration; NaN lands here too.
+    DrainFloorOutOfRange(f64),
     /// An annealing endpoint outside `[0, 1]`.
     AnnealOutOfRange {
         /// Willingness at iteration 0.
@@ -92,6 +96,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "capacity factor {c} below the balanced load (1.0)")
             }
             ConfigError::ZeroParallelism => write!(f, "need at least one decision-sweep thread"),
+            ConfigError::DrainFloorOutOfRange(d) => {
+                write!(f, "drain floor {d} outside [0, 1)")
+            }
             ConfigError::AnnealOutOfRange { start, end } => {
                 write!(f, "anneal endpoints ({start}, {end}) outside [0, 1]")
             }
@@ -137,6 +144,7 @@ pub struct AdaptiveConfigBuilder {
     balance_edges: bool,
     count_self: bool,
     parallelism: usize,
+    drain_floor: f64,
 }
 
 impl AdaptiveConfigBuilder {
@@ -205,6 +213,15 @@ impl AdaptiveConfigBuilder {
         self
     }
 
+    /// Sets the adaptive-budget drain floor (validated to `[0, 1)` at
+    /// build); see [`AdaptiveConfig::drain_floor`]. `0.0` (the default)
+    /// stops a batch's iterations only once the active set is fully
+    /// drained, which is provably history-preserving.
+    pub fn drain_floor(mut self, fraction: f64) -> Self {
+        self.drain_floor = fraction;
+        self
+    }
+
     /// Anneals the willingness linearly from `start` to `end` over the
     /// given number of iterations (endpoints validated to `[0, 1]` at
     /// build).
@@ -220,7 +237,8 @@ impl AdaptiveConfigBuilder {
     /// Validates the accumulated settings and produces the configuration.
     ///
     /// Checks run in a fixed order (partitions, willingness, capacity,
-    /// parallelism, anneal) and the first violation is returned.
+    /// parallelism, drain floor, anneal) and the first violation is
+    /// returned.
     pub fn build(self) -> Result<AdaptiveConfig, ConfigError> {
         if self.num_partitions == 0 {
             return Err(ConfigError::ZeroPartitions);
@@ -233,6 +251,9 @@ impl AdaptiveConfigBuilder {
         }
         if self.parallelism == 0 {
             return Err(ConfigError::ZeroParallelism);
+        }
+        if !(0.0..1.0).contains(&self.drain_floor) {
+            return Err(ConfigError::DrainFloorOutOfRange(self.drain_floor));
         }
         if let Some(a) = &self.anneal {
             if !(0.0..=1.0).contains(&a.start) || !(0.0..=1.0).contains(&a.end) {
@@ -254,7 +275,10 @@ impl AdaptiveConfigBuilder {
             balance_edges: self.balance_edges,
             count_self: self.count_self,
             parallelism: self.parallelism,
+            drain_floor: self.drain_floor,
             sweep_exhaustive: false,
+            apply_serial: false,
+            budget_fixed: false,
         })
     }
 }
@@ -325,6 +349,28 @@ pub struct AdaptiveConfig {
     /// migration history is **identical at every parallelism level** — this
     /// knob trades wall-clock only, never results.
     pub parallelism: usize,
+    /// Adaptive per-batch iteration budget floor for
+    /// [`crate::StreamingRunner`], as a fraction of the live vertex count
+    /// in `[0, 1)`.
+    ///
+    /// After each batch the runner charges the full
+    /// `iterations_per_batch` budget, but stops *executing* iterations
+    /// early once the active set has drained to (or below)
+    /// `drain_floor x live vertices` — the remaining iterations are
+    /// *skipped*, not run. With the default `0.0` the cutoff is an empty
+    /// active set, where every skipped iteration is provably a no-op
+    /// (every inactive vertex decides *Stay*; the active-set exactness
+    /// invariant), so the recorded [`crate::TimelineStats`] are
+    /// byte-identical to a fixed-budget run. A positive floor trades that
+    /// guarantee for earlier cutoffs: the last few stragglers of a batch
+    /// are left to the next batch's budget, which can perturb the
+    /// timeline.
+    ///
+    /// Skipped iterations still advance the iteration counter — the
+    /// counter keys the per-vertex RNG streams, so skipping must
+    /// fast-forward it for future draws to stay aligned with a
+    /// fixed-budget run.
+    pub drain_floor: f64,
     /// Diagnostic/test hook: force the decision sweep to evaluate **every**
     /// live vertex instead of only the active set. Because randomness is
     /// keyed per `(seed, vertex, iteration)` and skipped vertices provably
@@ -334,6 +380,23 @@ pub struct AdaptiveConfig {
     /// configuration (decoded states always get the default `false`).
     #[doc(hidden)]
     pub sweep_exhaustive: bool,
+    /// Diagnostic/test hook: force the apply phase to run the serial
+    /// per-migrant [`apply_move`] loop instead of the sharded parallel
+    /// apply. Both paths produce identical state — the serial mode exists
+    /// so tests and benches can pin exactly that. Transient: not part of
+    /// the persisted configuration.
+    ///
+    /// [`apply_move`]: crate::AdaptivePartitioner
+    #[doc(hidden)]
+    pub apply_serial: bool,
+    /// Diagnostic/test hook: force [`crate::StreamingRunner`] to burn the
+    /// full fixed per-batch iteration budget, ignoring
+    /// [`AdaptiveConfig::drain_floor`]'s early stop. At the default
+    /// `drain_floor = 0.0` both modes record identical timelines — the
+    /// fixed mode exists so tests and benches can pin exactly that.
+    /// Transient: not part of the persisted configuration.
+    #[doc(hidden)]
+    pub budget_fixed: bool,
 }
 
 impl AdaptiveConfig {
@@ -354,6 +417,7 @@ impl AdaptiveConfig {
             balance_edges: false,
             count_self: false,
             parallelism: apg_exec::available_parallelism(),
+            drain_floor: 0.0,
         }
     }
 
@@ -443,6 +507,21 @@ impl AdaptiveConfig {
         self
     }
 
+    /// Sets the adaptive-budget drain floor; see
+    /// [`AdaptiveConfig::drain_floor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction < 1.0`.
+    pub fn drain_floor(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "drain floor must be in [0, 1)"
+        );
+        self.drain_floor = fraction;
+        self
+    }
+
     /// Forces the exhaustive (every-live-vertex) decision sweep; see
     /// [`AdaptiveConfig::sweep_exhaustive`]. Results are identical either
     /// way — this only trades away the active-set skip, for tests and
@@ -450,6 +529,23 @@ impl AdaptiveConfig {
     #[doc(hidden)]
     pub fn sweep_exhaustive(mut self, yes: bool) -> Self {
         self.sweep_exhaustive = yes;
+        self
+    }
+
+    /// Forces the serial per-migrant apply loop; see
+    /// [`AdaptiveConfig::apply_serial`]. Results are identical either way —
+    /// this exists for tests and benches that compare the two.
+    #[doc(hidden)]
+    pub fn apply_serial(mut self, yes: bool) -> Self {
+        self.apply_serial = yes;
+        self
+    }
+
+    /// Forces the fixed per-batch iteration budget; see
+    /// [`AdaptiveConfig::budget_fixed`].
+    #[doc(hidden)]
+    pub fn budget_fixed(mut self, yes: bool) -> Self {
+        self.budget_fixed = yes;
         self
     }
 
@@ -536,6 +632,25 @@ mod tests {
     }
 
     #[test]
+    fn drain_floor_defaults_to_fully_drained() {
+        let c = AdaptiveConfig::new(4);
+        assert_eq!(c.drain_floor, 0.0);
+        assert!(!c.apply_serial && !c.budget_fixed);
+        let c = AdaptiveConfig::builder(4)
+            .drain_floor(0.25)
+            .build()
+            .unwrap();
+        assert!((c.drain_floor - 0.25).abs() < 1e-12);
+        assert!((AdaptiveConfig::new(4).drain_floor(0.5).drain_floor - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "drain floor must be in [0, 1)")]
+    fn rejects_bad_drain_floor() {
+        let _ = AdaptiveConfig::new(2).drain_floor(1.0);
+    }
+
+    #[test]
     #[should_panic(expected = "s must be in [0, 1]")]
     fn rejects_bad_willingness() {
         let _ = AdaptiveConfig::new(2).willingness(1.5);
@@ -615,6 +730,18 @@ mod tests {
             AdaptiveConfig::builder(4).parallelism(0).build(),
             Err(ZeroParallelism)
         );
+        assert_eq!(
+            AdaptiveConfig::builder(4).drain_floor(1.0).build(),
+            Err(DrainFloorOutOfRange(1.0))
+        );
+        assert_eq!(
+            AdaptiveConfig::builder(4).drain_floor(-0.1).build(),
+            Err(DrainFloorOutOfRange(-0.1))
+        );
+        assert!(matches!(
+            AdaptiveConfig::builder(4).drain_floor(f64::NAN).build(),
+            Err(DrainFloorOutOfRange(d)) if d.is_nan()
+        ));
         assert_eq!(
             AdaptiveConfig::builder(4)
                 .anneal_willingness(0.5, 1.2, 10)

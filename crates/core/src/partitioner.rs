@@ -9,7 +9,8 @@ use apg_exec::{fanout, vertex_rng, ActiveSet, ShardPlan};
 use apg_graph::delta::DeltaTarget;
 use apg_graph::{ApplyReport, DynGraph, Graph, UpdateBatch, VertexId};
 use apg_partition::{
-    cut_edges, initial::hash_vertex, CapacityModel, InitialStrategy, PartitionId, Partitioning,
+    cut_edges, cut_edges_sharded, initial::hash_vertex, CapacityModel, InitialStrategy,
+    PartitionId, Partitioning,
 };
 
 use crate::candidates::{DecisionKernel, MigrationDecision};
@@ -179,6 +180,24 @@ pub struct AdaptivePartitioner {
     /// a vertex) and must be recomputed on next read.
     max_live: usize,
     max_stale: bool,
+    /// Reusable per-iteration scratch; see [`IterScratch`].
+    scratch: IterScratch,
+}
+
+/// Per-iteration scratch buffers, hoisted out of the iteration loop so
+/// their capacity survives across iterations instead of being reallocated
+/// each round. Contents are dead between [`AdaptivePartitioner::iterate`]
+/// calls — nothing here is logical state (clones just carry the capacity
+/// along).
+#[derive(Debug, Clone)]
+struct IterScratch {
+    /// Per-partition remaining capacity at iteration start.
+    remaining: Vec<usize>,
+    /// Work list of `(shard index, slot range)` pairs the decide fan-out
+    /// sweeps this iteration.
+    shards: Vec<(usize, std::ops::Range<usize>)>,
+    /// Quota admission table, rebuilt in place each iteration.
+    quota: QuotaTable,
 }
 
 impl AdaptivePartitioner {
@@ -256,7 +275,11 @@ impl AdaptivePartitioner {
         seed: u64,
     ) -> Self {
         partitioning.recount_live(&graph);
-        let cut = cut_edges(&graph, &partitioning);
+        // Construction and restore pay one full-graph recount; shard it so
+        // multi-million-vertex start-up does not serially walk every
+        // adjacency list (`audit` keeps the serial walk as the independent
+        // cross-check).
+        let cut = cut_edges_sharded(&graph, &partitioning, config.parallelism);
         let mut degree_mass = vec![0usize; config.num_partitions as usize];
         // All live vertices start active: a fresh partitioner owes every
         // vertex a first evaluation, and a restored one may not know which
@@ -268,6 +291,12 @@ impl AdaptivePartitioner {
             active.mark(v as usize);
         }
         let max_live = partitioning.sizes().iter().copied().max().unwrap_or(0);
+        let k = config.num_partitions as usize;
+        let scratch = IterScratch {
+            remaining: Vec::with_capacity(k),
+            shards: Vec::new(),
+            quota: QuotaTable::new(config.quota_rule, &vec![0; k]),
+        };
         AdaptivePartitioner {
             graph,
             partitioning,
@@ -282,6 +311,7 @@ impl AdaptivePartitioner {
             active,
             max_live,
             max_stale: false,
+            scratch,
         }
     }
 
@@ -391,17 +421,22 @@ impl AdaptivePartitioner {
         let k = self.config.num_partitions;
         let caps = self.capacities();
         let balance_edges = self.config.balance_edges;
-        let remaining: Vec<usize> = (0..k)
-            .map(|p| {
+        {
+            let degree_mass = &self.degree_mass;
+            let partitioning = &self.partitioning;
+            self.scratch.remaining.clear();
+            self.scratch.remaining.extend((0..k).map(|p| {
                 let load = if balance_edges {
-                    self.degree_mass[p as usize]
+                    degree_mass[p as usize]
                 } else {
-                    self.partitioning.size(p)
+                    partitioning.size(p)
                 };
                 caps.remaining(p, load)
-            })
-            .collect();
-        let mut quota = QuotaTable::new(self.config.quota_rule, &remaining);
+            }));
+        }
+        self.scratch
+            .quota
+            .rebuild(self.config.quota_rule, &self.scratch.remaining);
 
         // Decision phase: shards propose migrations for the active slots of
         // their range against the frozen graph + assignment. Every vertex
@@ -423,20 +458,23 @@ impl AdaptivePartitioner {
         let round = self.iteration as u64;
         let active_before = active.num_active();
 
-        let shards: Vec<(usize, std::ops::Range<usize>)> = plan
-            .ranges()
-            .enumerate()
-            .filter(|(shard, _)| exhaustive || active.shard_active(*shard) > 0)
-            .collect();
-        let shards_swept = shards.len();
+        self.scratch.shards.clear();
+        self.scratch.shards.extend(
+            plan.ranges()
+                .enumerate()
+                .filter(|(shard, _)| exhaustive || active.shard_active(*shard) > 0),
+        );
+        let shards_swept = self.scratch.shards.len();
 
         let decide_start = Instant::now();
-        let outcomes: Vec<ShardOutcome> =
-            fanout::map_items(self.config.parallelism, shards, |_, (_, slots)| {
+        let outcomes: Vec<ShardOutcome> = fanout::map_slice(
+            self.config.parallelism,
+            &self.scratch.shards,
+            |_, (_, slots)| {
                 let mut kernel = DecisionKernel::new(k, count_self);
                 let mut out = ShardOutcome::default();
                 if exhaustive {
-                    for v in graph.live_in(slots) {
+                    for v in graph.live_in(slots.clone()) {
                         evaluate_vertex(
                             v,
                             s,
@@ -449,7 +487,7 @@ impl AdaptivePartitioner {
                         );
                     }
                 } else {
-                    for slot in active.iter_in(slots) {
+                    for slot in active.iter_in(slots.clone()) {
                         let v = slot as VertexId;
                         debug_assert!(graph.is_vertex(v), "tombstone {v} in active set");
                         evaluate_vertex(
@@ -465,7 +503,8 @@ impl AdaptivePartitioner {
                     }
                 }
                 out
-            });
+            },
+        );
         let decide_ms = decide_start.elapsed().as_secs_f64() * 1e3;
 
         // Merge phase: single-threaded and deterministic. First retire the
@@ -490,21 +529,29 @@ impl AdaptivePartitioner {
             } else {
                 1
             };
-            if quota.try_consume_units(current, to, units) {
+            if self.scratch.quota.try_consume_units(current, to, units) {
                 self.pending.push((v, to));
             }
         }
         let merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
 
         // Apply phase: move vertices, updating the cut incrementally and
-        // re-dirtying each migrant's neighbourhood.
+        // re-dirtying each migrant's neighbourhood. The sharded path is the
+        // default; `apply_serial` keeps the per-migrant loop alive as the
+        // equivalence reference (both produce identical state — the
+        // apply-equivalence proptests pin this).
         let apply_start = Instant::now();
         let migrations = self.pending.len();
-        let pending = std::mem::take(&mut self.pending);
-        for &(v, to) in &pending {
-            self.apply_move(v, to);
+        if self.config.apply_serial {
+            // Index loop rather than iterating a moved-out buffer, so
+            // `pending` keeps its capacity in place across iterations.
+            for i in 0..self.pending.len() {
+                let (v, to) = self.pending[i];
+                self.apply_move(v, to);
+            }
+        } else {
+            self.apply_pending_sharded();
         }
-        self.pending = pending;
         let apply_ms = apply_start.elapsed().as_secs_f64() * 1e3;
 
         self.iteration += 1;
@@ -524,6 +571,91 @@ impl AdaptivePartitioner {
             apply_ms,
         };
         (self.stats_snapshot(migrations), profile)
+    }
+
+    /// Applies every admitted migration at once on the sharded fan-out.
+    ///
+    /// The migration set is frozen after admission and each vertex moves at
+    /// most once, so a migrant's cut and degree-mass deltas are pure
+    /// functions of the iteration-start labels plus the migration list: a
+    /// neighbour's post-apply label is its own migration target if it is
+    /// migrating (`pending` is sorted by vertex id, so membership is a
+    /// binary search), its frozen label otherwise. Shards of the migrant
+    /// list therefore compute independent `{cut delta, degree-mass delta,
+    /// dirty list}` outcomes against the frozen snapshot — each
+    /// migrant–migrant edge is counted by its lower-id endpoint, every
+    /// other edge by its migrant — and the single-threaded merge folds
+    /// them in shard order, then replays the label/size bookkeeping in
+    /// admission order. The resulting state is identical to running
+    /// [`AdaptivePartitioner::apply_move`] per migrant in admission order
+    /// (dirty-marking is idempotent and the deltas are exact), which
+    /// [`AdaptiveConfig::apply_serial`] keeps alive as the reference.
+    fn apply_pending_sharded(&mut self) {
+        let k = self.config.num_partitions as usize;
+        let graph = &self.graph;
+        let partitioning = &self.partitioning;
+        let pending = &self.pending;
+        debug_assert!(
+            pending.windows(2).all(|w| w[0].0 < w[1].0),
+            "pending not sorted by vertex id"
+        );
+        let plan = ShardPlan::with_default_size(pending.len());
+        let outcomes = fanout::map_shards(self.config.parallelism, &plan, |_, migrants| {
+            let mut out = ApplyOutcome {
+                cut_delta: 0,
+                mass_delta: vec![0i64; k],
+                dirty: Vec::new(),
+            };
+            for i in migrants {
+                let (v, to) = pending[i];
+                let from = partitioning.partition_of(v);
+                if from == to {
+                    continue;
+                }
+                out.dirty.push(v as usize);
+                for &w in graph.neighbors(v) {
+                    // The neighbour sees v's label change: it re-enters
+                    // the active set (exactly as `apply_move` marks it).
+                    out.dirty.push(w as usize);
+                    let old_w = partitioning.partition_of(w);
+                    let (new_w, counts_edge) = match migrant_target(pending, w) {
+                        // A migrant–migrant edge contributes one delta,
+                        // owned by the lower-id endpoint.
+                        Some(target) => (target, v < w),
+                        None => (old_w, true),
+                    };
+                    if counts_edge {
+                        out.cut_delta += (to != new_w) as i64 - (from != old_w) as i64;
+                    }
+                }
+                let deg = graph.degree(v) as i64;
+                out.mass_delta[from as usize] -= deg;
+                out.mass_delta[to as usize] += deg;
+            }
+            out
+        });
+
+        let mut cut = self.cut as i64;
+        for out in &outcomes {
+            cut += out.cut_delta;
+            for (p, delta) in out.mass_delta.iter().enumerate() {
+                self.degree_mass[p] = (self.degree_mass[p] as i64 + delta) as usize;
+            }
+            for &slot in &out.dirty {
+                self.active.mark(slot);
+            }
+        }
+        self.cut = cut as usize;
+        for i in 0..self.pending.len() {
+            let (v, to) = self.pending[i];
+            let from = self.partitioning.partition_of(v);
+            if from == to {
+                continue;
+            }
+            self.partitioning.move_vertex(v, to);
+            self.note_size_gain(to);
+            self.note_size_loss(from);
+        }
     }
 
     fn apply_move(&mut self, v: VertexId, to: PartitionId) {
@@ -581,6 +713,19 @@ impl AdaptivePartitioner {
             num_edges: self.graph.num_edges(),
             max_partition: self.max_live,
         }
+    }
+
+    /// Fast-forwards the counters over `n` skipped iterations that are
+    /// provably migration-free — the adaptive per-batch budget's way of
+    /// charging iterations it never executes (a drained active set means
+    /// every remaining budgeted iteration would visit nothing and migrate
+    /// nothing). The iteration counter keys the per-vertex RNG streams, so
+    /// charging keeps every future draw aligned with a run that executed
+    /// the skipped iterations; the quiet streak advances exactly as `n`
+    /// migration-free [`AdaptivePartitioner::iterate`] calls would have.
+    pub(crate) fn charge_quiet_iterations(&mut self, n: usize) {
+        self.iteration += n;
+        self.quiet_streak += n;
     }
 
     /// Runs exactly `n` iterations, returning their stats.
@@ -919,6 +1064,28 @@ struct ShardOutcome {
     visited: usize,
 }
 
+/// What one shard of the parallel apply produced: the cut and degree-mass
+/// deltas of its migrants' moves, computed against the frozen
+/// iteration-start labels, plus the slots those moves dirty. Folding the
+/// outcomes in shard order reproduces the serial
+/// [`AdaptivePartitioner::apply_move`] loop's final state exactly.
+#[derive(Debug)]
+struct ApplyOutcome {
+    cut_delta: i64,
+    mass_delta: Vec<i64>,
+    dirty: Vec<usize>,
+}
+
+/// Looks up `w`'s admitted migration target, if any. `pending` is sorted
+/// ascending by vertex id (admission order), so membership is a binary
+/// search.
+fn migrant_target(pending: &[(VertexId, PartitionId)], w: VertexId) -> Option<PartitionId> {
+    pending
+        .binary_search_by_key(&w, |&(v, _)| v)
+        .ok()
+        .map(|i| pending[i].1)
+}
+
 /// Evaluates one vertex against the frozen iteration-start snapshot.
 ///
 /// Every draw comes from the vertex's own `(seed, vertex, round)` RNG —
@@ -1116,6 +1283,33 @@ mod tests {
         let sequential = run(1);
         assert_eq!(sequential, run(3));
         assert_eq!(sequential, run(8));
+    }
+
+    #[test]
+    fn sharded_apply_matches_serial_apply() {
+        let g = gen::mesh3d(12, 12, 12);
+        let run = |serial: bool, threads: usize| {
+            let cfg = AdaptiveConfig::new(4)
+                .willingness(1.0)
+                .parallelism(threads)
+                .apply_serial(serial);
+            let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 41);
+            let mut history = p.run_for(12);
+            let v = p.add_vertex_with_edges(&[0, 5, 9]);
+            p.add_edge(v, 100);
+            p.remove_vertex(200);
+            history.extend(p.run_for(12));
+            p.audit();
+            (
+                history,
+                p.partitioning().clone(),
+                p.cut_edges(),
+                p.degree_mass().to_vec(),
+            )
+        };
+        let reference = run(true, 1);
+        assert_eq!(reference, run(false, 1));
+        assert_eq!(reference, run(false, 8));
     }
 
     #[test]

@@ -173,10 +173,12 @@ impl Decode for Anneal {
 }
 
 impl Encode for AdaptiveConfig {
-    /// `sweep_exhaustive` is deliberately absent: it is a transient
-    /// diagnostic hook (active-set skip disabled, identical results), not
-    /// logical state — persisting it would change the wire format for a
-    /// knob that never alters behaviour.
+    /// The diagnostic hooks (`sweep_exhaustive`, `apply_serial`,
+    /// `budget_fixed`) are deliberately absent: they are transient test
+    /// switches that never alter results, not logical state — persisting
+    /// them would change the wire format for knobs that never alter
+    /// behaviour. `drain_floor` *is* persisted (format v2): a non-default
+    /// floor changes which iterations a resumed stream executes.
     fn encode(&self, enc: &mut Encoder) {
         self.num_partitions.encode(enc);
         self.willingness.encode(enc);
@@ -189,6 +191,7 @@ impl Encode for AdaptiveConfig {
         self.balance_edges.encode(enc);
         self.count_self.encode(enc);
         self.parallelism.encode(enc);
+        self.drain_floor.encode(enc);
     }
 }
 
@@ -208,7 +211,10 @@ impl Decode for AdaptiveConfig {
             balance_edges: bool::decode(dec)?,
             count_self: bool::decode(dec)?,
             parallelism: usize::decode(dec)?,
+            drain_floor: f64::decode(dec)?,
             sweep_exhaustive: false,
+            apply_serial: false,
+            budget_fixed: false,
         };
         if config.num_partitions == 0 {
             return Err(DecodeError::Corrupt("config has zero partitions"));
@@ -221,6 +227,9 @@ impl Decode for AdaptiveConfig {
         }
         if config.parallelism == 0 {
             return Err(DecodeError::Corrupt("config has zero parallelism"));
+        }
+        if !(0.0..1.0).contains(&config.drain_floor) {
+            return Err(DecodeError::Corrupt("drain floor outside [0, 1)"));
         }
         Ok(config)
     }
@@ -622,6 +631,13 @@ mod tests {
         assert!(matches!(
             AdaptiveConfig::from_bytes(&bad.to_bytes()).unwrap_err(),
             DecodeError::Corrupt("willingness outside [0, 1]")
+        ));
+        // Drain floor out of range.
+        let mut bad = cfg.clone();
+        bad.drain_floor = 1.5;
+        assert!(matches!(
+            AdaptiveConfig::from_bytes(&bad.to_bytes()).unwrap_err(),
+            DecodeError::Corrupt("drain floor outside [0, 1)")
         ));
         // Partitioner state whose assignment is too short for the graph.
         let graph = DynGraph::with_vertices(5);

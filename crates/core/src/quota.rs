@@ -34,25 +34,40 @@ impl QuotaTable {
     ///
     /// Panics if `remaining.len()` is zero.
     pub fn new(rule: QuotaRule, remaining: &[usize]) -> Self {
+        let mut table = QuotaTable {
+            k: remaining.len(),
+            budget: Vec::new(),
+        };
+        table.rebuild(rule, remaining);
+        table
+    }
+
+    /// Rebuilds the table in place for a new iteration, reusing the budget
+    /// allocation — the hot-loop counterpart of [`QuotaTable::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remaining.len()` is zero.
+    pub fn rebuild(&mut self, rule: QuotaRule, remaining: &[usize]) {
         let k = remaining.len();
         assert!(k > 0, "need at least one partition");
-        let budget = match rule {
-            QuotaRule::Unbounded => vec![usize::MAX; k * k],
+        self.k = k;
+        self.budget.clear();
+        match rule {
+            QuotaRule::Unbounded => self.budget.resize(k * k, usize::MAX),
             QuotaRule::PerSourceSplit => {
-                let mut budget = vec![0usize; k * k];
-                for to in 0..k {
+                self.budget.resize(k * k, 0);
+                for (to, &cap) in remaining.iter().enumerate() {
                     // With k == 1 there is nowhere to migrate anyway.
-                    let per_source = if k > 1 { remaining[to] / (k - 1) } else { 0 };
+                    let per_source = if k > 1 { cap / (k - 1) } else { 0 };
                     for from in 0..k {
                         if from != to {
-                            budget[from * k + to] = per_source;
+                            self.budget[from * k + to] = per_source;
                         }
                     }
                 }
-                budget
             }
-        };
-        QuotaTable { k, budget }
+        }
     }
 
     /// Remaining budget for migrations `from -> to`.
@@ -127,6 +142,18 @@ mod tests {
             }
         }
         assert!(admitted <= 7, "overflow: {admitted} > 7");
+    }
+
+    #[test]
+    fn rebuild_resets_a_depleted_table() {
+        let mut q = QuotaTable::new(QuotaRule::PerSourceSplit, &[0, 2]);
+        while q.try_consume(0, 1) {}
+        q.rebuild(QuotaRule::PerSourceSplit, &[0, 2]);
+        assert_eq!(q.available(0, 1), 2);
+        // Rule and shape can change between rebuilds.
+        q.rebuild(QuotaRule::Unbounded, &[0, 0, 0]);
+        assert!(q.try_consume(2, 1));
+        assert_eq!(q.available(2, 2), usize::MAX);
     }
 
     #[test]

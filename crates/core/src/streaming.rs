@@ -7,8 +7,20 @@
 //! [`AdaptivePartitioner`], pulls batches from any
 //! [`StreamSource`], applies them through the
 //! shared delta model (incremental cut maintained across every delta), runs
-//! a fixed per-batch iteration budget, and records one [`TimelineStats`]
-//! entry per batch.
+//! the per-batch iteration budget, and records one [`TimelineStats`] entry
+//! per batch.
+//!
+//! The budget is *adaptive*: each batch is charged the full
+//! `iterations_per_batch`, but once the active set drains below the
+//! configured floor ([`AdaptiveConfig::drain_floor`]) the remaining
+//! iterations are skipped and fast-forwarded instead of executed — budget
+//! goes where the batch landed. At the default floor of `0.0` (stop only
+//! when fully drained) every skipped iteration is provably a no-op, so the
+//! recorded timeline is byte-identical to a fixed-budget run
+//! ([`AdaptiveConfig::budget_fixed`] forces that mode for comparison).
+//!
+//! [`AdaptiveConfig::drain_floor`]: crate::AdaptiveConfig::drain_floor
+//! [`AdaptiveConfig::budget_fixed`]: crate::AdaptiveConfig::budget_fixed
 //!
 //! # Determinism
 //!
@@ -167,6 +179,7 @@ pub struct StreamingRunner {
     log: DeltaLog,
     timeline: Vec<TimelineStats>,
     serve: Option<ServePhase>,
+    iterations_skipped: usize,
 }
 
 impl StreamingRunner {
@@ -180,6 +193,7 @@ impl StreamingRunner {
             log: DeltaLog::new(),
             timeline: Vec::new(),
             serve: None,
+            iterations_skipped: 0,
         }
     }
 
@@ -222,14 +236,32 @@ impl StreamingRunner {
 
     /// Applies one batch, runs the per-batch iteration budget, and records
     /// + returns the batch's [`TimelineStats`].
+    ///
+    /// The recorded `iterations` field is the *charged* budget
+    /// (`iterations_per_batch`), not the executed count: iterations the
+    /// adaptive budget skips are fast-forwarded through the partitioner's
+    /// counters (see [`AdaptiveConfig::drain_floor`]), so at the default
+    /// floor the stats are identical whether they ran or not.
+    ///
+    /// [`AdaptiveConfig::drain_floor`]: crate::AdaptiveConfig::drain_floor
     pub fn ingest(&mut self, batch: &UpdateBatch) -> TimelineStats {
         let cut_before = self.partitioner.cut_edges();
         let start = Instant::now();
         let report: ApplyReport = self.partitioner.apply_batch(batch);
         let cut_after_ingest = self.partitioner.cut_edges();
         let mut migrations = 0usize;
-        for _ in 0..self.iterations_per_batch {
+        let mut executed = 0usize;
+        while executed < self.iterations_per_batch {
+            if self.budget_drained() {
+                break;
+            }
             migrations += self.partitioner.iterate().migrations;
+            executed += 1;
+        }
+        let skipped = self.iterations_per_batch - executed;
+        if skipped > 0 {
+            self.partitioner.charge_quiet_iterations(skipped);
+            self.iterations_skipped += skipped;
         }
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         if self.record {
@@ -255,6 +287,20 @@ impl StreamingRunner {
         self.timeline.push(stats.clone());
         self.serve_after_batch(stats.batch as u64);
         stats
+    }
+
+    /// Whether the adaptive budget should stop executing this batch's
+    /// remaining iterations: the active set has drained to (or below) the
+    /// configured floor. Never true in `budget_fixed` mode.
+    fn budget_drained(&self) -> bool {
+        use apg_graph::Graph;
+        let config = self.partitioner.config();
+        if config.budget_fixed {
+            return false;
+        }
+        let live = self.partitioner.graph().num_live_vertices();
+        let floor = (config.drain_floor * live as f64) as usize;
+        self.partitioner.num_active_vertices() <= floor
     }
 
     /// Serves one workload round against the post-batch snapshot (no-op
@@ -328,6 +374,17 @@ impl StreamingRunner {
         self.iterations_per_batch
     }
 
+    /// Total budgeted iterations the adaptive budget skipped (rather than
+    /// executed) across the run so far — 0 in
+    /// [`budget_fixed`](crate::AdaptiveConfig::budget_fixed) mode or when
+    /// no batch drained early. Skipped iterations are still charged to the
+    /// partitioner's iteration counter and to each batch's recorded
+    /// `iterations`, so this is pure wall-clock savings, not a history
+    /// change.
+    pub fn iterations_skipped(&self) -> usize {
+        self.iterations_skipped
+    }
+
     /// Whether ingested batches are recorded into the replay log.
     pub fn records_log(&self) -> bool {
         self.record
@@ -352,6 +409,9 @@ impl StreamingRunner {
             // workload is an in-process concern); resumed runners re-attach
             // one via `serve_workload` if they want interleaved serving.
             serve: None,
+            // A skip diagnostic, not logical state: the skipped iterations
+            // are already charged into the partitioner's counters.
+            iterations_skipped: 0,
         }
     }
 
@@ -453,6 +513,49 @@ mod tests {
         assert_eq!(sequential, run(4));
         let migrations: usize = sequential.iter().map(|s| s.migrations).sum();
         assert!(migrations > 0, "scenario too quiet to prove anything");
+    }
+
+    #[test]
+    fn adaptive_budget_preserves_the_timeline_and_skips_work() {
+        // A generous budget on a modest stream: most batches drain their
+        // active set before the budget runs out, so the adaptive run skips
+        // real work — while recording exactly the fixed run's timeline.
+        let config = CdrConfig {
+            initial_subscribers: 300,
+            ..CdrConfig::default()
+        };
+        let graph = DynGraph::with_vertices(config.initial_subscribers);
+        let run = |fixed: bool| {
+            let cfg = AdaptiveConfig::new(2).willingness(1.0).budget_fixed(fixed);
+            let mut stream = CdrStream::new(config, 7);
+            let mut r = StreamingRunner::new(AdaptivePartitioner::with_strategy(
+                &graph,
+                InitialStrategy::Hash,
+                &cfg,
+                7,
+            ))
+            .iterations_per_batch(25);
+            r.drive(&mut stream, 8);
+            r
+        };
+        let adaptive = run(false);
+        let fixed = run(true);
+        assert_eq!(fixed.iterations_skipped(), 0);
+        assert!(
+            adaptive.iterations_skipped() > 0,
+            "a 25-iteration budget should drain early on this stream"
+        );
+        assert_eq!(adaptive.timeline(), fixed.timeline());
+        assert_eq!(
+            adaptive.partitioner().iteration(),
+            fixed.partitioner().iteration(),
+            "skipped iterations must still be charged to the counter"
+        );
+        assert_eq!(
+            adaptive.partitioner().partitioning(),
+            fixed.partitioner().partitioning()
+        );
+        adaptive.partitioner().audit();
     }
 
     #[test]

@@ -453,7 +453,10 @@ pub mod format {
 
     /// Current format revision, shared by every container. Bump on any
     /// byte-level change and regenerate the golden fixtures.
-    pub const VERSION: u16 = 1;
+    ///
+    /// v2: `AdaptiveConfig` gained the persisted `drain_floor` field
+    /// (adaptive per-batch iteration budget).
+    pub const VERSION: u16 = 2;
 
     /// Magic for a [`DynGraph`](../../apg_graph/struct.DynGraph.html)
     /// snapshot.
@@ -492,7 +495,10 @@ pub mod format {
                 .try_into()
                 .expect("read_bytes(2) returned 2 bytes"),
         );
-        if version == 0 || version > VERSION {
+        // Exact-version match: the payload decoders read the current
+        // layout only (they are not version-aware), so an older revision's
+        // bytes must be rejected here rather than misparsed downstream.
+        if version != VERSION {
             return Err(DecodeError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
