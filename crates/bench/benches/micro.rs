@@ -8,6 +8,7 @@ use rand::SeedableRng;
 
 use apg_core::{AdaptiveConfig, AdaptivePartitioner, DecisionKernel, QuotaRule, QuotaTable};
 use apg_graph::gen;
+use apg_graph::{DynGraph, Graph, VertexId};
 use apg_partition::{CapacityModel, InitialStrategy};
 
 fn bench_decision_kernel(c: &mut Criterion) {
@@ -98,8 +99,74 @@ fn bench_initial_strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Neighbor-scan throughput: the slab-backed `DynGraph` adjacency versus
+/// the boxed `Vec<Vec<_>>` layout it replaced. Sequential sweeps measure
+/// the decision-sweep access pattern (every list, ascending slot order);
+/// random-access sweeps measure the serving/apply pattern where vertex
+/// order is unpredictable and per-list pointer chasing dominates.
+fn bench_neighbor_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_scan");
+    group.sample_size(10);
+    let n = 100_000usize;
+    let csr = gen::holme_kim(n, 8, 0.1, 11);
+    let boxed: Vec<Vec<VertexId>> = (0..n)
+        .map(|v| csr.neighbors(v as VertexId).to_vec())
+        .collect();
+    let slab = DynGraph::from(&csr);
+    // A fixed pseudo-random visit order: stride 48271 is coprime to n, so
+    // the sequence is a permutation of 0..n with no cache-friendly runs.
+    let shuffled: Vec<usize> = (0..n).map(|i| (i * 48271) % n).collect();
+
+    group.bench_function("sequential_boxed", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for list in &boxed {
+                for &w in list {
+                    acc = acc.wrapping_add(u64::from(w));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("sequential_slab", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..n as VertexId {
+                for &w in slab.neighbors(v) {
+                    acc = acc.wrapping_add(u64::from(w));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("random_boxed", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &shuffled {
+                for &w in &boxed[v] {
+                    acc = acc.wrapping_add(u64::from(w));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("random_slab", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &v in &shuffled {
+                for &w in slab.neighbors(v as VertexId) {
+                    acc = acc.wrapping_add(u64::from(w));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    bench_neighbor_scan,
     bench_decision_kernel,
     bench_quota_table,
     bench_iterate,

@@ -3,10 +3,12 @@
 //! working directory.
 //!
 //! Default (quick) scale already runs the ≥100k-vertex power-law
-//! configuration; `--scale paper` raises it to one million vertices. The
+//! configuration; `--scale paper` raises it to one million vertices and
+//! `--scale xl` to ten million (single repetition). The
 //! `APG_SCALING_SCALE` environment variable overrides the flag (CI uses
 //! `APG_SCALING_SCALE=tiny` as a smoke cap so the binary cannot rot
-//! without slowing the pipeline).
+//! without slowing the pipeline; `APG_SCALING_SCALE=xl` opts into the
+//! stress run).
 
 use apg_bench::experiments::scaling;
 use apg_bench::scale::RunArgs;
@@ -33,6 +35,10 @@ fn main() {
     }
     if !result.apply_parallel_equals_serial {
         eprintln!("FATAL: sharded apply diverged from the serial apply");
+        std::process::exit(1);
+    }
+    if !result.layout_equals_reference {
+        eprintln!("FATAL: slab adjacency diverged from the boxed reference layout");
         std::process::exit(1);
     }
 

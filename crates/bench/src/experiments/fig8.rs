@@ -36,9 +36,9 @@ const EDGE_TTL_HOURS: f64 = 2.0;
 /// Windows across the day per scale.
 pub fn windows(scale: Scale) -> usize {
     match scale {
-        Scale::Paper => 144, // 10-minute windows
-        Scale::Quick => 48,  // 30-minute windows
-        Scale::Tiny => 12,   // 2-hour windows
+        Scale::Paper | Scale::Xl => 144, // 10-minute windows
+        Scale::Quick => 48,              // 30-minute windows
+        Scale::Tiny => 12,               // 2-hour windows
     }
 }
 
@@ -48,7 +48,7 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig8Point> {
     let window_secs = 24.0 * 3600.0 / num_windows as f64;
     let config = TwitterConfig {
         initial_users: match scale {
-            Scale::Paper => 4000,
+            Scale::Paper | Scale::Xl => 4000,
             Scale::Quick => 1500,
             Scale::Tiny => 500,
         },

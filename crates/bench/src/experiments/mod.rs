@@ -22,7 +22,7 @@ use crate::Scale;
 /// `epinions` (power law) — shrunk at quick scale.
 pub fn headline_graphs(scale: Scale, seed: u64) -> Vec<(&'static str, CsrGraph)> {
     match scale {
-        Scale::Paper => vec![
+        Scale::Paper | Scale::Xl => vec![
             ("64kcube", apg_graph::gen::mesh3d(40, 40, 40)),
             (
                 "epinions",

@@ -88,7 +88,7 @@ fn batches_for(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 8,
         Scale::Quick => 28,
-        Scale::Paper => 56,
+        Scale::Paper | Scale::Xl => 56,
     }
 }
 

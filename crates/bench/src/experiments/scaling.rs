@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use apg_core::{AdaptiveConfig, AdaptivePartitioner, IterationStats};
-use apg_graph::{gen, CsrGraph, DynGraph, Graph, UpdateBatch};
+use apg_graph::{gen, CsrGraph, DynGraph, Graph, UpdateBatch, VertexId};
 use apg_partition::{cut_edges, cut_edges_sharded, InitialStrategy};
 use apg_streams::{forest_fire_delta, ForestFireConfig};
 
@@ -30,12 +30,15 @@ const K: u16 = 8;
 /// Power-law vertex count per scale. `Quick` (the default) already runs the
 /// ≥100k-vertex configuration the scaling claim is about; `Tiny` exists for
 /// tests; `Paper` stresses the million-vertex regime the parallel apply and
-/// sharded recount paths target.
+/// sharded recount paths target; `Xl` (gate it behind
+/// `APG_SCALING_SCALE=xl` — one run is minutes of work and gigabytes of
+/// graph) pushes to ten million, the slab-adjacency stress regime.
 pub fn vertices(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 10_000,
         Scale::Quick => 100_000,
         Scale::Paper => 1_000_000,
+        Scale::Xl => 10_000_000,
     }
 }
 
@@ -43,6 +46,9 @@ fn iterations(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 6,
         Scale::Quick | Scale::Paper => 12,
+        // Halved at 10M vertices: six iterations already dwarf the 1M runs
+        // and the scaling signal is per-iteration, not per-run.
+        Scale::Xl => 6,
     }
 }
 
@@ -137,6 +143,11 @@ pub struct ScalingResult {
     /// timeline exactly (histories compared per scenario) — the
     /// equivalence contract of the parallel apply path.
     pub apply_parallel_equals_serial: bool,
+    /// Whether the slab-backed `DynGraph` matched a boxed-per-vertex
+    /// reference adjacency slot-for-slot after replaying identical churn
+    /// (growth burst, deletions, compaction) — the layout-invariance
+    /// contract of the `AdjPool` memory layout.
+    pub layout_equals_reference: bool,
 }
 
 impl ScalingResult {
@@ -254,6 +265,135 @@ fn burst_update_batch(graph: &CsrGraph, seed: u64) -> UpdateBatch {
     forest_fire_delta(&shadow, &ForestFireConfig::burst(burst, seed ^ 0xF1FE))
 }
 
+/// The pre-slab adjacency shape — one boxed, sorted `Vec` per vertex —
+/// kept alive here as the reference the slab layout is checked against.
+/// Implements [`apg_graph::DeltaTarget`] with exactly `DynGraph`'s
+/// documented mutation semantics (sorted lists, tombstones strip
+/// adjacency, ids never reused, self-loops/dead endpoints/duplicates
+/// rejected), so replaying one batch into both must yield identical
+/// per-slot lists.
+struct BoxedAdjacency {
+    adj: Vec<Vec<VertexId>>,
+    alive: Vec<bool>,
+    num_edges: usize,
+}
+
+impl BoxedAdjacency {
+    fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        BoxedAdjacency {
+            adj: (0..n as VertexId)
+                .map(|v| g.neighbors(v).to_vec())
+                .collect(),
+            alive: vec![true; n],
+            num_edges: g.num_edges(),
+        }
+    }
+
+    fn is_live(&self, v: VertexId) -> bool {
+        (v as usize) < self.alive.len() && self.alive[v as usize]
+    }
+}
+
+impl apg_graph::delta::DeltaTarget for BoxedAdjacency {
+    fn delta_add_vertex(&mut self) -> VertexId {
+        self.adj.push(Vec::new());
+        self.alive.push(true);
+        (self.adj.len() - 1) as VertexId
+    }
+
+    fn delta_add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.is_live(u) || !self.is_live(v) {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => self.adj[u as usize].insert(pos, v),
+        }
+        let pos = self.adj[v as usize].binary_search(&u).unwrap_err();
+        self.adj[v as usize].insert(pos, u);
+        self.num_edges += 1;
+        true
+    }
+
+    fn delta_remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if u == v || !self.is_live(u) || !self.is_live(v) {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(pos) => self.adj[u as usize].remove(pos),
+            Err(_) => return false,
+        };
+        let pos = self.adj[v as usize]
+            .binary_search(&u)
+            .expect("asymmetric adjacency");
+        self.adj[v as usize].remove(pos);
+        self.num_edges -= 1;
+        true
+    }
+
+    fn delta_remove_vertex(&mut self, v: VertexId) -> Option<usize> {
+        if !self.is_live(v) {
+            return None;
+        }
+        let neighbors = std::mem::take(&mut self.adj[v as usize]);
+        for &w in &neighbors {
+            let list = &mut self.adj[w as usize];
+            if let Ok(pos) = list.binary_search(&v) {
+                list.remove(pos);
+            }
+        }
+        self.num_edges -= neighbors.len();
+        self.alive[v as usize] = false;
+        Some(neighbors.len())
+    }
+}
+
+/// Replays identical churn — a forest-fire growth burst, then a deletion
+/// wave heavy enough to trigger arena compaction — into the slab-backed
+/// [`DynGraph`] and into [`BoxedAdjacency`], then compares every slot:
+/// liveness, neighbour list, and edge count. Runs at a fixed small size
+/// (the contract is about layout correctness, not scale), so an `xl`
+/// invocation doesn't pay for it twice.
+fn layout_equals_reference(seed: u64) -> bool {
+    let base = gen::holme_kim(10_000, 8, 0.1, seed ^ 0x51AB);
+    let mut slab = DynGraph::from(&base);
+    let mut boxed = BoxedAdjacency::from_csr(&base);
+
+    let replay = |batch: &UpdateBatch, slab: &mut DynGraph, boxed: &mut BoxedAdjacency| {
+        batch.apply_to(slab);
+        batch.apply_to(boxed);
+    };
+    replay(&burst_update_batch(&base, seed), &mut slab, &mut boxed);
+
+    // Deletion wave: tombstone a spread of vertices (freeing their spans)
+    // and strip edges off others, then add fresh vertices into the holes'
+    // id space — tombstoned ids must stay retired.
+    let mut churn = UpdateBatch::new();
+    for v in (0..base.num_vertices() as VertexId).step_by(3) {
+        churn.remove_vertex(v);
+    }
+    for v in (1..base.num_vertices() as VertexId).step_by(5) {
+        if let Some(&w) = base.neighbors(v).first() {
+            churn.remove_edge(v, w);
+        }
+    }
+    let a = churn.add_vertex(vec![1, 4]);
+    let b = churn.add_vertex(vec![7]);
+    churn.connect_new(a, b);
+    replay(&churn, &mut slab, &mut boxed);
+
+    // Compaction is layout-only; comparing after forcing one proves it.
+    slab.compact_adjacency();
+
+    slab.num_vertices() == boxed.adj.len()
+        && slab.num_edges() == boxed.num_edges
+        && (0..slab.num_vertices() as VertexId).all(|v| {
+            slab.is_vertex(v) == boxed.is_live(v)
+                && slab.neighbors(v) == boxed.adj[v as usize].as_slice()
+        })
+}
+
 /// Runs the full sweep.
 pub fn run(scale: Scale, reps: usize, seed: u64) -> ScalingResult {
     let n = vertices(scale);
@@ -333,6 +473,7 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> ScalingResult {
         rows,
         recount,
         apply_parallel_equals_serial,
+        layout_equals_reference: layout_equals_reference(seed),
     }
 }
 
@@ -358,6 +499,10 @@ pub fn to_json(result: &ScalingResult) -> String {
     out.push_str(&format!(
         "  \"apply_parallel_equals_serial\": {},\n",
         result.apply_parallel_equals_serial
+    ));
+    out.push_str(&format!(
+        "  \"layout_equals_reference\": {},\n",
+        result.layout_equals_reference
     ));
     out.push_str("  \"rows\": [\n");
     for (i, row) in result.rows.iter().enumerate() {
@@ -467,6 +612,14 @@ pub fn print(result: &ScalingResult) {
             "NO — INVESTIGATE"
         }
     );
+    println!(
+        "slab adjacency matches boxed reference: {}",
+        if result.layout_equals_reference {
+            "yes (layout contract holds)"
+        } else {
+            "NO — INVESTIGATE"
+        }
+    );
 }
 
 #[cfg(test)]
@@ -511,6 +664,7 @@ mod tests {
         );
         assert!(json.contains("\"deterministic_across_threads\": true"));
         assert!(json.contains("\"apply_parallel_equals_serial\": true"));
+        assert!(json.contains("\"layout_equals_reference\": true"));
         assert!(json.contains("\"scale\": \"tiny\""));
         assert!(json.contains("\"threads_available\""));
         assert_eq!(json.matches("\"apply_ms\"").count(), result.rows.len());

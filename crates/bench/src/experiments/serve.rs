@@ -45,7 +45,7 @@ pub fn subscribers(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 2_000,
         Scale::Quick => 8_000,
-        Scale::Paper => 20_000,
+        Scale::Paper | Scale::Xl => 20_000,
     }
 }
 
@@ -54,7 +54,7 @@ fn queries_per_round(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 64,
         Scale::Quick => 256,
-        Scale::Paper => 512,
+        Scale::Paper | Scale::Xl => 512,
     }
 }
 
@@ -62,8 +62,8 @@ fn queries_per_round(scale: Scale) -> usize {
 fn batches(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 8,
-        Scale::Quick => 14, // one CDR week
-        Scale::Paper => 28, // two weeks
+        Scale::Quick => 14,             // one CDR week
+        Scale::Paper | Scale::Xl => 28, // two weeks
     }
 }
 

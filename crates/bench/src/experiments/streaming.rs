@@ -36,7 +36,7 @@ pub fn cdr_subscribers(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 400,
         Scale::Quick => 2_000,
-        Scale::Paper => 20_000,
+        Scale::Paper | Scale::Xl => 20_000,
     }
 }
 
@@ -45,7 +45,7 @@ pub fn twitter_users(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 300,
         Scale::Quick => 1_500,
-        Scale::Paper => 4_000,
+        Scale::Paper | Scale::Xl => 4_000,
     }
 }
 
@@ -54,7 +54,7 @@ pub fn burst_base_vertices(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 2_000,
         Scale::Quick => 20_000,
-        Scale::Paper => 100_000,
+        Scale::Paper | Scale::Xl => 100_000,
     }
 }
 
@@ -63,7 +63,7 @@ fn twitter_hours(scale: Scale) -> f64 {
     match scale {
         Scale::Tiny => 1.0,
         Scale::Quick => 6.0,
-        Scale::Paper => 12.0,
+        Scale::Paper | Scale::Xl => 12.0,
     }
 }
 

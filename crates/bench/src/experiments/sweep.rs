@@ -46,7 +46,7 @@ pub fn vertices(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 8_000,
         Scale::Quick => 100_000,
-        Scale::Paper => 1_000_000,
+        Scale::Paper | Scale::Xl => 1_000_000,
     }
 }
 
@@ -55,7 +55,7 @@ pub fn vertices(scale: Scale) -> usize {
 fn refine_iterations(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 40,
-        Scale::Quick | Scale::Paper => 60,
+        Scale::Quick | Scale::Paper | Scale::Xl => 60,
     }
 }
 
@@ -63,14 +63,14 @@ fn refine_iterations(scale: Scale) -> usize {
 fn churn_batches(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 5,
-        Scale::Quick | Scale::Paper => 15,
+        Scale::Quick | Scale::Paper | Scale::Xl => 15,
     }
 }
 
 fn churn_batch_size(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 16,
-        Scale::Quick | Scale::Paper => 64,
+        Scale::Quick | Scale::Paper | Scale::Xl => 64,
     }
 }
 

@@ -14,15 +14,22 @@ pub enum Scale {
     Quick,
     /// The paper's sizes (or their documented substitutes).
     Paper,
+    /// Beyond-paper stress sizes (the scaling bench runs 10M vertices).
+    /// Opt-in only — e.g. `APG_SCALING_SCALE=xl` — and single-repetition,
+    /// since one run is minutes of work and gigabytes of graph.
+    /// Experiments without a dedicated stress configuration treat `Xl`
+    /// like [`Scale::Paper`].
+    Xl,
 }
 
 impl Scale {
-    /// Parses from a CLI argument (`quick`/`paper`).
+    /// Parses from a CLI argument (`quick`/`paper`/`xl`).
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
             "tiny" | "t" => Some(Scale::Tiny),
             "quick" | "small" | "q" => Some(Scale::Quick),
             "paper" | "full" | "p" => Some(Scale::Paper),
+            "xl" | "x" => Some(Scale::Xl),
             _ => None,
         }
     }
@@ -34,6 +41,7 @@ impl Scale {
             Scale::Tiny => "tiny",
             Scale::Quick => "quick",
             Scale::Paper => "paper",
+            Scale::Xl => "xl",
         }
     }
 
@@ -43,6 +51,7 @@ impl Scale {
             Scale::Tiny => 1,
             Scale::Quick => 3,
             Scale::Paper => 10,
+            Scale::Xl => 1,
         }
     }
 }
@@ -111,7 +120,7 @@ mod tests {
 
     #[test]
     fn names_round_trip_through_parse() {
-        for scale in [Scale::Tiny, Scale::Quick, Scale::Paper] {
+        for scale in [Scale::Tiny, Scale::Quick, Scale::Paper, Scale::Xl] {
             assert_eq!(Scale::parse(scale.name()), Some(scale));
         }
     }

@@ -69,6 +69,12 @@ pub struct SweepProfile {
     pub shards_swept: usize,
     /// Total shards in the iteration's plan.
     pub num_shards: usize,
+    /// Total slots inside the scheduled shard ranges. In active-set mode
+    /// each scheduled shard is trimmed to its dirtied region
+    /// (first..=last active slot), so this measures the slot footprint the
+    /// sweep actually covered — after a local batch it is proportional to
+    /// where the batch landed, not to `num_shards x shard_size`.
+    pub slots_scheduled: usize,
     /// Wall-clock of the parallel decision phase, milliseconds.
     pub decide_ms: f64,
     /// Wall-clock of the quota-admission merge, milliseconds.
@@ -194,8 +200,15 @@ struct IterScratch {
     /// Per-partition remaining capacity at iteration start.
     remaining: Vec<usize>,
     /// Work list of `(shard index, slot range)` pairs the decide fan-out
-    /// sweeps this iteration.
+    /// sweeps this iteration (trimmed to each shard's dirtied region in
+    /// active-set mode).
     shards: Vec<(usize, std::ops::Range<usize>)>,
+    /// One reusable [`DecisionKernel`] per scheduled shard: the k-length
+    /// label histogram every vertex evaluation fills, hoisted here so its
+    /// O(k) buffers survive across iterations instead of being reallocated
+    /// per shard per round. Kernel state is self-clearing between
+    /// `decide` calls, so reuse cannot leak counts across vertices.
+    kernels: Vec<DecisionKernel>,
     /// Quota admission table, rebuilt in place each iteration.
     quota: QuotaTable,
 }
@@ -295,6 +308,7 @@ impl AdaptivePartitioner {
         let scratch = IterScratch {
             remaining: Vec::with_capacity(k),
             shards: Vec::new(),
+            kernels: Vec::new(),
             quota: QuotaTable::new(config.quota_rule, &vec![0; k]),
         };
         AdaptivePartitioner {
@@ -459,52 +473,49 @@ impl AdaptivePartitioner {
         let active_before = active.num_active();
 
         self.scratch.shards.clear();
-        self.scratch.shards.extend(
-            plan.ranges()
-                .enumerate()
-                .filter(|(shard, _)| exhaustive || active.shard_active(*shard) > 0),
-        );
+        if exhaustive {
+            self.scratch.shards.extend(plan.ranges().enumerate());
+        } else {
+            // The dirtied-region work list: only shards with active slots,
+            // each trimmed to its first..=last active slot, so the fan-out
+            // covers the region recent churn touched and nothing else.
+            active.collect_dirty_shards(&mut self.scratch.shards);
+        }
         let shards_swept = self.scratch.shards.len();
+        let slots_scheduled: usize = self.scratch.shards.iter().map(|(_, r)| r.len()).sum();
+
+        // One reusable kernel per scheduled shard (grown on demand, kept
+        // across iterations). Kernels are interchangeable — decide() leaves
+        // no state behind — so pairing kernel i with work item i is safe.
+        if self.scratch.kernels.len() < shards_swept {
+            self.scratch
+                .kernels
+                .resize_with(shards_swept, || DecisionKernel::new(k, count_self));
+        }
+        let work: Vec<(&mut DecisionKernel, &(usize, std::ops::Range<usize>))> = self
+            .scratch
+            .kernels
+            .iter_mut()
+            .zip(self.scratch.shards.iter())
+            .collect();
 
         let decide_start = Instant::now();
-        let outcomes: Vec<ShardOutcome> = fanout::map_slice(
-            self.config.parallelism,
-            &self.scratch.shards,
-            |_, (_, slots)| {
-                let mut kernel = DecisionKernel::new(k, count_self);
+        let outcomes: Vec<ShardOutcome> =
+            fanout::map_items(self.config.parallelism, work, |_, (kernel, (_, slots))| {
                 let mut out = ShardOutcome::default();
                 if exhaustive {
                     for v in graph.live_in(slots.clone()) {
-                        evaluate_vertex(
-                            v,
-                            s,
-                            seed,
-                            round,
-                            graph,
-                            partitioning,
-                            &mut kernel,
-                            &mut out,
-                        );
+                        evaluate_vertex(v, s, seed, round, graph, partitioning, kernel, &mut out);
                     }
                 } else {
                     for slot in active.iter_in(slots.clone()) {
                         let v = slot as VertexId;
                         debug_assert!(graph.is_vertex(v), "tombstone {v} in active set");
-                        evaluate_vertex(
-                            v,
-                            s,
-                            seed,
-                            round,
-                            graph,
-                            partitioning,
-                            &mut kernel,
-                            &mut out,
-                        );
+                        evaluate_vertex(v, s, seed, round, graph, partitioning, kernel, &mut out);
                     }
                 }
                 out
-            },
-        );
+            });
         let decide_ms = decide_start.elapsed().as_secs_f64() * 1e3;
 
         // Merge phase: single-threaded and deterministic. First retire the
@@ -566,6 +577,7 @@ impl AdaptivePartitioner {
             visited,
             shards_swept,
             num_shards: plan.num_shards(),
+            slots_scheduled,
             decide_ms,
             merge_ms,
             apply_ms,
@@ -1094,9 +1106,16 @@ fn migrant_target(pending: &[(VertexId, PartitionId)], w: VertexId) -> Option<Pa
 /// vertex that decides *Stay* is retired from the active set: Stay is
 /// deterministic (the current partition wins every tie), so with an
 /// unchanged neighbourhood the vertex would decide Stay on every future
-/// iteration too. An interior vertex (no neighbour outside its partition,
-/// or no neighbours at all) short-circuits to that retirement without
-/// running the kernel — its own partition is the only candidate.
+/// iteration too.
+///
+/// `neighbors(v)` is walked exactly **once**: the kernel's label histogram
+/// is both the candidate tally and the interior-vertex early-out (a vertex
+/// whose neighbours all share its label makes its own partition the unique
+/// best, so the kernel returns Stay — without a random draw — and the
+/// vertex retires). Draw-for-draw identical to the old two-pass shape,
+/// which pre-scanned the neighbours for a differing label before tallying:
+/// the kernel only consumes randomness when several *foreign* partitions
+/// tie for best, which an interior vertex cannot produce.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn evaluate_vertex(
@@ -1117,17 +1136,12 @@ fn evaluate_vertex(
         return;
     }
     let current = partitioning.partition_of(v);
-    let neighbors = graph.neighbors(v);
-    if !neighbors
-        .iter()
-        .any(|&w| partitioning.partition_of(w) != current)
-    {
-        out.retire.push(v);
-        return;
-    }
     match kernel.decide(
         current,
-        neighbors.iter().map(|&w| partitioning.partition_of(w)),
+        graph
+            .neighbors(v)
+            .iter()
+            .map(|&w| partitioning.partition_of(w)),
         &mut rng,
     ) {
         MigrationDecision::Stay => out.retire.push(v),
@@ -1135,8 +1149,17 @@ fn evaluate_vertex(
     }
 }
 
+/// Copies any [`Graph`] into a [`DynGraph`], degree prepass first: every
+/// adjacency span is preallocated at its exact final size, so the edge
+/// replay fills spans in place without a single relocation. All `n` slots
+/// come out live, matching the historical behaviour of this conversion
+/// (sources with tombstones resurrect them as isolated vertices).
 fn to_dyn<G: Graph>(graph: &G) -> DynGraph {
-    let mut d = DynGraph::with_vertices(graph.num_vertices());
+    let mut degrees = vec![0usize; graph.num_vertices()];
+    for v in graph.vertices() {
+        degrees[v as usize] = graph.degree(v);
+    }
+    let mut d = DynGraph::with_degree_capacities(&degrees);
     for v in graph.vertices() {
         for &w in graph.neighbors(v) {
             if w > v {
@@ -1372,6 +1395,38 @@ mod tests {
         assert_eq!(profile.active_before, active);
         assert_eq!(profile.visited, active);
         assert!(profile.shards_swept <= profile.num_shards);
+        // The scheduled slot footprint is trimmed to the dirtied region:
+        // never wider than the full plan, never narrower than the slots it
+        // must visit.
+        assert!(profile.slots_scheduled <= profile.num_shards * apg_exec::DEFAULT_SHARD_SIZE);
+        assert!(profile.slots_scheduled >= profile.visited);
+    }
+
+    #[test]
+    fn dirty_region_trims_the_scheduled_footprint() {
+        let g = gen::mesh3d(8, 8, 8);
+        let cfg = AdaptiveConfig::new(4).max_iterations(500);
+        let mut p = AdaptivePartitioner::with_strategy(&g, InitialStrategy::Hash, &cfg, 9);
+        // First iteration: everything is dirty, so the scheduled footprint
+        // is the full slot range.
+        let (_, first) = p.iterate_profiled();
+        assert_eq!(first.slots_scheduled, 512);
+        p.run_to_convergence();
+        // Perturb two distant vertices: the next sweep schedules only the
+        // slivers around them, not whole 4096-wide shards (the mesh fits in
+        // one shard, so without trimming this would be 512 slots).
+        let mut batch = apg_graph::UpdateBatch::new();
+        batch.remove_edge(0, 1);
+        p.apply_batch(&batch);
+        let dirtied = p.num_active_vertices();
+        let (_, profile) = p.iterate_profiled();
+        assert!(dirtied > 0);
+        assert!(
+            profile.slots_scheduled < 512,
+            "footprint {} not trimmed below the full slot range",
+            profile.slots_scheduled
+        );
+        assert!(profile.slots_scheduled >= dirtied);
     }
 
     #[test]

@@ -186,6 +186,71 @@ impl ActiveSet {
         self.iter_in(0..self.len)
     }
 
+    /// Appends `(shard, trimmed slot range)` to `out` for every shard with
+    /// at least one active slot, in ascending shard order — the
+    /// dirtied-region work list.
+    ///
+    /// Each range is trimmed to `first_active ..= last_active` within the
+    /// shard, so a fan-out scheduling these ranges visits only the slot
+    /// region a batch actually touched: untouched shards are dropped
+    /// before the fan-out sees them, and a shard dirtied at one edge
+    /// contributes a sliver, not its full width. Trimming never changes
+    /// *which* active slots a range contains (only inactive ends are cut),
+    /// so sweeps driven by this list visit exactly the same vertices, in
+    /// the same order, as sweeps over the full shard ranges — the
+    /// determinism contract is untouched by construction.
+    ///
+    /// The ranges land in a caller-owned `Vec` (appended, not returned) so
+    /// per-iteration sweeps can reuse one scratch allocation.
+    pub fn collect_dirty_shards(&self, out: &mut Vec<(usize, Range<usize>)>) {
+        for (shard, &count) in self.shard_counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let start = shard * self.shard_size;
+            let end = ((shard + 1) * self.shard_size).min(self.len);
+            let first = self
+                .first_active_in(start..end)
+                .expect("non-zero shard count with no set bit");
+            let last = self
+                .last_active_in(start..end)
+                .expect("non-zero shard count with no set bit");
+            out.push((shard, first..last + 1));
+        }
+    }
+
+    /// First active slot in `slots`, if any (word-level scan).
+    fn first_active_in(&self, slots: Range<usize>) -> Option<usize> {
+        self.iter_in(slots).next()
+    }
+
+    /// Last active slot in `slots`, if any (word-level scan from the top).
+    fn last_active_in(&self, slots: Range<usize>) -> Option<usize> {
+        if slots.start >= slots.end {
+            return None;
+        }
+        let last_word = (slots.end - 1) / 64;
+        let first_word = slots.start / 64;
+        for word in (first_word..=last_word).rev() {
+            let mut mask = self.words[word];
+            if word == last_word {
+                let top = (slots.end - 1) % 64;
+                // Keep bits at or below the range's last slot; top < 63
+                // shift is safe, top == 63 keeps the whole word.
+                if top < 63 {
+                    mask &= (1u64 << (top + 1)) - 1;
+                }
+            }
+            if word == first_word {
+                mask &= !0u64 << (slots.start % 64);
+            }
+            if mask != 0 {
+                return Some(word * 64 + 63 - mask.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
     /// Audits the internal accounting (bitmap vs counts); used by consumer
     /// invariant checks.
     ///
@@ -332,6 +397,55 @@ mod tests {
             (1..257).step_by(2).collect::<Vec<_>>()
         );
         set.audit();
+    }
+
+    #[test]
+    fn dirty_shards_trim_to_touched_region() {
+        let mut set = ActiveSet::new(1000, 100);
+        set.mark(37);
+        set.mark(41);
+        set.mark(250);
+        set.mark(999);
+        let mut out = Vec::new();
+        set.collect_dirty_shards(&mut out);
+        assert_eq!(out, vec![(0, 37..42), (2, 250..251), (9, 999..1000)]);
+        // The trimmed ranges contain exactly the active slots of the full
+        // ranges — trimming only cuts inactive ends.
+        for (shard, range) in &out {
+            let full = shard * 100..((shard + 1) * 100).min(set.len());
+            assert_eq!(
+                set.iter_in(range.clone()).collect::<Vec<_>>(),
+                set.iter_in(full).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_shards_cover_word_boundaries_and_reuse_scratch() {
+        let mut set = ActiveSet::new(300, 128);
+        for slot in [0, 63, 64, 127, 128, 191, 256, 299] {
+            set.mark(slot);
+        }
+        let mut out = vec![(99, 0..0)]; // pre-existing entries survive
+        set.collect_dirty_shards(&mut out);
+        assert_eq!(
+            out,
+            vec![(99, 0..0), (0, 0..128), (1, 128..192), (2, 256..300)]
+        );
+        // Clearing a shard's only member drops it from the next collection.
+        set.clear(191);
+        set.clear(128);
+        out.clear();
+        set.collect_dirty_shards(&mut out);
+        assert_eq!(out, vec![(0, 0..128), (2, 256..300)]);
+    }
+
+    #[test]
+    fn dirty_shards_empty_set_collects_nothing() {
+        let set = ActiveSet::new(500, 64);
+        let mut out = Vec::new();
+        set.collect_dirty_shards(&mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

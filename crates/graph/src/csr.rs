@@ -110,17 +110,36 @@ impl CsrGraph {
     /// Panics (debug builds) if a list is unsorted, contains duplicates or a
     /// self-loop, or if adjacency is asymmetric.
     pub fn from_sorted_adjacency_slices(adj: &[Vec<VertexId>]) -> Self {
-        let n = adj.len();
+        Self::from_sorted_neighbor_slices(adj.len(), |v| adj[v].as_slice())
+    }
+
+    /// Builds a graph over `n` vertices from a sorted-neighbour-slice
+    /// accessor, the shape-agnostic core of the borrowed constructors: the
+    /// caller's adjacency can live in per-vertex `Vec`s, a flat slab, or
+    /// anything else that can lend `&[VertexId]` per slot (e.g.
+    /// [`crate::DynGraph::to_csr`] reading its span pool). Each slot is
+    /// read exactly twice (degree pass, copy pass), never cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if a list is unsorted, contains duplicates or a
+    /// self-loop, or if adjacency is asymmetric.
+    pub fn from_sorted_neighbor_slices<'a, F>(n: usize, lists: F) -> Self
+    where
+        F: Fn(usize) -> &'a [VertexId],
+    {
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
-        for list in adj {
+        for v in 0..n {
+            let list = lists(v);
             debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted adjacency");
             acc += list.len();
             offsets.push(acc);
         }
         let mut targets = Vec::with_capacity(acc);
-        for (v, list) in adj.iter().enumerate() {
+        for v in 0..n {
+            let list = lists(v);
             debug_assert!(!list.contains(&(v as VertexId)), "self-loop at {v}");
             targets.extend_from_slice(list);
         }

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::adj_pool::AdjPool;
 use crate::csr::CsrGraph;
 use crate::types::{Graph, VertexId};
 
@@ -11,6 +12,18 @@ use crate::types::{Graph, VertexId};
 /// insertion, vertex removal, edge insertion, edge removal — while keeping
 /// neighbour lists sorted so the migration heuristic's neighbour scans stay
 /// cache-friendly and deterministic.
+///
+/// # Memory layout
+///
+/// Adjacency lives in an [`AdjPool`]: one flat arena of `VertexId`s with a
+/// `{offset, len, cap}` span per vertex slot, instead of one heap `Vec`
+/// per vertex. Every consumer still reads through
+/// [`Graph::neighbors`]` -> &[VertexId]`, but a sequential sweep now walks
+/// a single contiguous allocation and a random lookup costs one
+/// indirection — CSR-like locality with mutability. Layout is invisible to
+/// behaviour: lists stay sorted under churn, equality compares logical
+/// lists only, and the snapshot codec encodes per-vertex lists, so wire
+/// bytes are identical to the boxed-per-vertex representation's.
 ///
 /// Removed vertices leave a *tombstone*: the id is never reused within one
 /// graph's lifetime, mirroring how real systems (and the paper's Pregel-like
@@ -32,7 +45,7 @@ use crate::types::{Graph, VertexId};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DynGraph {
-    adj: Vec<Vec<VertexId>>,
+    adj: AdjPool,
     alive: Vec<bool>,
     num_live: usize,
     num_edges: usize,
@@ -47,12 +60,12 @@ impl DynGraph {
     /// Assembles a graph from already-validated parts (the snapshot
     /// decoder's entry point; see `crate::persist`).
     pub(crate) fn from_raw_parts(
-        adj: Vec<Vec<VertexId>>,
+        adj: AdjPool,
         alive: Vec<bool>,
         num_live: usize,
         num_edges: usize,
     ) -> Self {
-        debug_assert_eq!(adj.len(), alive.len());
+        debug_assert_eq!(adj.num_slots(), alive.len());
         DynGraph {
             adj,
             alive,
@@ -64,17 +77,31 @@ impl DynGraph {
     /// Creates a graph with `n` live, isolated vertices.
     pub fn with_vertices(n: usize) -> Self {
         DynGraph {
-            adj: vec![Vec::new(); n],
+            adj: AdjPool::with_slots(n),
             alive: vec![true; n],
             num_live: n,
             num_edges: 0,
         }
     }
 
+    /// Creates a graph of `degrees.len()` live, isolated vertices whose
+    /// adjacency spans are preallocated with exactly the given capacities.
+    ///
+    /// The bulk-construction fast path: a caller that knows every degree up
+    /// front (a degree prepass over a source graph) can then add each edge
+    /// once without a single span relocation.
+    pub fn with_degree_capacities(degrees: &[usize]) -> Self {
+        DynGraph {
+            adj: AdjPool::with_capacities(degrees),
+            alive: vec![true; degrees.len()],
+            num_live: degrees.len(),
+            num_edges: 0,
+        }
+    }
+
     /// Adds a new vertex and returns its id.
     pub fn add_vertex(&mut self) -> VertexId {
-        let id = self.adj.len() as VertexId;
-        self.adj.push(Vec::new());
+        let id = self.adj.push_slot() as VertexId;
         self.alive.push(true);
         self.num_live += 1;
         id
@@ -87,14 +114,17 @@ impl DynGraph {
         if !self.is_vertex(v) {
             return false;
         }
-        let neighbors = std::mem::take(&mut self.adj[v as usize]);
-        for &w in &neighbors {
-            let list = &mut self.adj[w as usize];
-            if let Ok(pos) = list.binary_search(&v) {
-                list.remove(pos);
-            }
+        // Walk v's list by index: removing v from a neighbour's span never
+        // moves v's own span (no relocation or compaction inside the loop).
+        let degree = self.adj.len_of(v as usize);
+        for i in 0..degree {
+            let w = self.adj.neighbors(v as usize)[i];
+            let removed = self.adj.remove_sorted(w as usize, v);
+            debug_assert!(removed, "asymmetric adjacency at {{{v}, {w}}}");
         }
-        self.num_edges -= neighbors.len();
+        self.adj.clear_slot(v as usize);
+        self.adj.maybe_compact();
+        self.num_edges -= degree;
         self.alive[v as usize] = false;
         self.num_live -= 1;
         true
@@ -108,15 +138,13 @@ impl DynGraph {
         if u == v || !self.is_vertex(u) || !self.is_vertex(v) {
             return false;
         }
-        let lu = &mut self.adj[u as usize];
-        match lu.binary_search(&v) {
-            Ok(_) => return false,
-            Err(pos) => lu.insert(pos, v),
+        if !self.adj.insert_sorted(u as usize, v) {
+            return false;
         }
-        let lv = &mut self.adj[v as usize];
-        let pos = lv.binary_search(&u).unwrap_err();
-        lv.insert(pos, u);
+        let inserted = self.adj.insert_sorted(v as usize, u);
+        debug_assert!(inserted, "asymmetric adjacency at {{{u}, {v}}}");
         self.num_edges += 1;
+        self.adj.maybe_compact();
         true
     }
 
@@ -127,31 +155,42 @@ impl DynGraph {
         if u == v || !self.is_vertex(u) || !self.is_vertex(v) {
             return false;
         }
-        let lu = &mut self.adj[u as usize];
-        match lu.binary_search(&v) {
-            Ok(pos) => lu.remove(pos),
-            Err(_) => return false,
-        };
-        let lv = &mut self.adj[v as usize];
-        let pos = lv.binary_search(&u).expect("asymmetric adjacency");
-        lv.remove(pos);
+        if !self.adj.remove_sorted(u as usize, v) {
+            return false;
+        }
+        let removed = self.adj.remove_sorted(v as usize, u);
+        debug_assert!(removed, "asymmetric adjacency at {{{u}, {v}}}");
         self.num_edges -= 1;
         true
     }
 
     /// Whether the edge `{u, v}` exists.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        self.is_vertex(u) && self.is_vertex(v) && self.adj[u as usize].binary_search(&v).is_ok()
+        self.is_vertex(u)
+            && self.is_vertex(v)
+            && self.adj.neighbors(u as usize).binary_search(&v).is_ok()
+    }
+
+    /// Forces an adjacency-arena compaction, rebuilding the slab in slot
+    /// order with tight spans.
+    ///
+    /// Compaction normally fires automatically once churn has turned more
+    /// than half the arena into garbage; this entry point hands memory back
+    /// eagerly (and restores perfect sequential-scan locality) at a moment
+    /// the caller chooses, e.g. after a large deletion burst. Purely a
+    /// layout operation — no observable behaviour changes.
+    pub fn compact_adjacency(&mut self) {
+        self.adj.compact();
     }
 
     /// Freezes the current live subgraph into a [`CsrGraph`].
     ///
     /// Tombstoned ids are preserved as isolated vertices so that ids remain
     /// stable between the two representations. The CSR offsets and targets
-    /// are built directly from the borrowed neighbour lists — the graph's
+    /// are built directly from the borrowed neighbour spans — the graph's
     /// adjacency is read once, never cloned.
     pub fn to_csr(&self) -> CsrGraph {
-        CsrGraph::from_sorted_adjacency_slices(&self.adj)
+        CsrGraph::from_sorted_neighbor_slices(self.adj.num_slots(), |v| self.adj.neighbors(v))
     }
 
     /// The full vertex-slot range `0..num_vertices()`, tombstones included.
@@ -161,7 +200,7 @@ impl DynGraph {
     /// stable across thread counts (pair with [`Graph::is_vertex`] to skip
     /// tombstones inside a shard).
     pub fn slot_range(&self) -> std::ops::Range<usize> {
-        0..self.adj.len()
+        0..self.adj.num_slots()
     }
 
     /// Live vertices within a slot sub-range, ascending — the read-only
@@ -179,9 +218,11 @@ impl DynGraph {
 
     /// Returns every undirected edge once, with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, list)| {
+        (0..self.adj.num_slots()).flat_map(move |u| {
             let u = u as VertexId;
-            list.iter()
+            self.adj
+                .neighbors(u as usize)
+                .iter()
                 .copied()
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
@@ -192,9 +233,13 @@ impl DynGraph {
 impl From<&CsrGraph> for DynGraph {
     fn from(g: &CsrGraph) -> Self {
         let n = g.num_vertices();
-        let adj: Vec<Vec<VertexId>> = (0..n as VertexId)
-            .map(|v| g.neighbors(v).to_vec())
-            .collect();
+        let degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+        let mut adj = AdjPool::with_capacities(&degrees);
+        for v in 0..n as VertexId {
+            for &w in g.neighbors(v) {
+                adj.push_within_cap(v as usize, w);
+            }
+        }
         DynGraph {
             adj,
             alive: vec![true; n],
@@ -206,7 +251,7 @@ impl From<&CsrGraph> for DynGraph {
 
 impl Graph for DynGraph {
     fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.adj.num_slots()
     }
 
     fn num_live_vertices(&self) -> usize {
@@ -229,7 +274,7 @@ impl Graph for DynGraph {
     /// vertices, never like their former selves. Ids that were never
     /// allocated (`v >= num_vertices()`) panic.
     fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        let list = &self.adj[v as usize];
+        let list = self.adj.neighbors(v as usize);
         debug_assert!(
             self.alive[v as usize] || list.is_empty(),
             "tombstone {v} still holds adjacency"
@@ -243,10 +288,10 @@ impl Graph for DynGraph {
     /// stripped at removal); panics for ids that were never allocated.
     fn degree(&self, v: VertexId) -> usize {
         debug_assert!(
-            self.alive[v as usize] || self.adj[v as usize].is_empty(),
+            self.alive[v as usize] || self.adj.len_of(v as usize) == 0,
             "tombstone {v} still holds adjacency"
         );
-        self.adj[v as usize].len()
+        self.adj.len_of(v as usize)
     }
 }
 
@@ -348,5 +393,52 @@ mod tests {
         assert_eq!(g.neighbors(0), &[1, 2, 5, 7, 9]);
         g.remove_edge(0, 5);
         assert_eq!(g.neighbors(0), &[1, 2, 7, 9]);
+    }
+
+    #[test]
+    fn equality_is_layout_invariant() {
+        // Build the same logical graph twice: once via bulk construction,
+        // once via churn heavy enough to relocate spans and compact.
+        let mut churned = DynGraph::with_vertices(6);
+        for u in 0..6u32 {
+            for w in (u + 1)..6 {
+                churned.add_edge(u, w);
+            }
+        }
+        for u in 0..6u32 {
+            for w in (u + 1)..6 {
+                if (u + w) % 2 == 0 {
+                    churned.remove_edge(u, w);
+                }
+            }
+        }
+        churned.compact_adjacency();
+
+        let mut fresh = DynGraph::with_vertices(6);
+        for u in 0..6u32 {
+            for w in (u + 1)..6 {
+                if (u + w) % 2 != 0 {
+                    fresh.add_edge(u, w);
+                }
+            }
+        }
+        assert_eq!(churned, fresh);
+        fresh.remove_vertex(3);
+        assert_ne!(churned, fresh);
+    }
+
+    #[test]
+    fn degree_capacities_prealloc_matches_incremental_build() {
+        let mut incremental = DynGraph::with_vertices(4);
+        incremental.add_edge(0, 1);
+        incremental.add_edge(0, 2);
+        incremental.add_edge(2, 3);
+
+        let mut bulk = DynGraph::with_degree_capacities(&[2, 1, 2, 1]);
+        bulk.add_edge(0, 1);
+        bulk.add_edge(0, 2);
+        bulk.add_edge(2, 3);
+        assert_eq!(bulk, incremental);
+        assert_eq!(bulk.degree(0), 2);
     }
 }

@@ -6,6 +6,9 @@
 //!   static experiments (Figures 1, 4, 5, 6 of the paper).
 //! * [`DynGraph`] — a mutable adjacency-list graph supporting vertex/edge
 //!   insertion and removal, used for the dynamic experiments (Figures 7–9).
+//!   Its adjacency lives in an [`AdjPool`] — one flat slab of neighbour
+//!   entries with per-vertex spans — so mutable graphs read with CSR-like
+//!   locality.
 //! * [`delta`] — the canonical mutation event model: [`GraphDelta`] events
 //!   grouped into [`UpdateBatch`]es with deterministic application and a
 //!   replayable [`DeltaLog`]; every mutation producer in the workspace
@@ -30,6 +33,7 @@
 //! assert_eq!(g.num_edges(), 187_200);
 //! ```
 
+pub mod adj_pool;
 pub mod algo;
 pub mod csr;
 pub mod datasets;
@@ -40,6 +44,7 @@ pub mod io;
 pub mod persist;
 pub mod types;
 
+pub use adj_pool::AdjPool;
 pub use csr::CsrGraph;
 pub use delta::{ApplyReport, DeltaLog, GraphDelta, UpdateBatch};
 pub use dynamic::DynGraph;

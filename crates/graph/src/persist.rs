@@ -110,7 +110,8 @@ impl DynGraph {
     /// liveness — the decoder's starting point for replaying adjacency.
     pub(crate) fn from_alive_slots(alive: Vec<bool>) -> Self {
         let num_live = alive.iter().filter(|&&a| a).count();
-        DynGraph::from_raw_parts(vec![Vec::new(); alive.len()], alive, num_live, 0)
+        let pool = crate::adj_pool::AdjPool::with_slots(alive.len());
+        DynGraph::from_raw_parts(pool, alive, num_live, 0)
     }
 
     /// Serialises the graph — tombstone slots included — as a framed,
