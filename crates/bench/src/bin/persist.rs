@@ -13,6 +13,11 @@ fn main() {
         result.all_resumes_match(),
         "a resumed checkpoint diverged from its live runner"
     );
+    assert!(
+        result.recovery_ok(),
+        "durability contract violated: a cold file-backed recovery \
+         diverged or the bounded window failed to cap checkpoint growth"
+    );
 
     let path = "BENCH_persist.json";
     match std::fs::write(path, persist::to_json(&result)) {

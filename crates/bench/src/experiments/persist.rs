@@ -14,10 +14,13 @@
 //!
 //! The `persist` binary prints the table and writes `BENCH_persist.json`.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use apg_core::persist::StreamCheckpoint;
-use apg_core::{AdaptiveConfig, AdaptivePartitioner, StreamingRunner};
+use apg_core::{
+    AdaptiveConfig, AdaptivePartitioner, CheckpointStore, StoreConfig, StreamingRunner,
+};
 use apg_graph::DynGraph;
 use apg_partition::InitialStrategy;
 use apg_streams::{CdrConfig, CdrStream, StreamSource};
@@ -60,6 +63,31 @@ pub struct PersistRow {
     pub resume_matches: bool,
 }
 
+/// One file-backed cadence measurement: the same stream written through
+/// [`CheckpointStore`] — fsync'd write-ahead appends plus atomic snapshot
+/// installs — then recovered cold from disk.
+#[derive(Debug, Clone)]
+pub struct DurableRow {
+    /// Batches between durable snapshot installs.
+    pub snapshot_every: usize,
+    /// Snapshot installs performed (each: segment fsync, snapshot write +
+    /// fsync, manifest rename + directory fsync).
+    pub installs: usize,
+    /// Wall-clock for the full run, ingest + appends + installs.
+    pub wall_ms: WallStats,
+    /// Mean cost of one durable snapshot install, milliseconds. This is
+    /// the price of the fsync discipline at this cadence.
+    pub install_ms_mean: f64,
+    /// Mean cost of one fsync'd write-ahead append, milliseconds.
+    pub append_ms_mean: f64,
+    /// Bytes of live on-disk state (snapshot + undiscarded segments).
+    pub live_bytes: u64,
+    /// Batches the cold recovery landed on (snapshot + replayed tail).
+    pub recovered_batches: usize,
+    /// Whether the cold-recovered runner matches the live one exactly.
+    pub recovery_matches: bool,
+}
+
 /// Full experiment output.
 #[derive(Debug, Clone)]
 pub struct PersistResult {
@@ -73,14 +101,36 @@ pub struct PersistResult {
     pub subscribers: usize,
     /// Batches ingested per run.
     pub batches: usize,
-    /// One row per checkpoint cadence.
+    /// Whether the file-backed rows fsync'd every write (always true here;
+    /// recorded so the JSON is self-describing).
+    pub fsync: bool,
+    /// Segment rotation threshold the file-backed rows used, bytes.
+    pub segment_rotate_bytes: u64,
+    /// One row per in-memory checkpoint cadence.
     pub rows: Vec<PersistRow>,
+    /// One row per file-backed (fsync'd) cadence.
+    pub durable_rows: Vec<DurableRow>,
+    /// Whether a bounded `timeline_window` held the checkpoint's growth
+    /// strictly below the unbounded run's at the same stream position
+    /// (the O(window) vs O(stream) contract).
+    pub window_growth_ok: bool,
 }
 
 impl PersistResult {
     /// Whether every cadence's resumed runner matched the live runner.
     pub fn all_resumes_match(&self) -> bool {
         self.rows.iter().all(|r| r.resume_matches)
+    }
+
+    /// The durability contract this benchmark doubles as a check for: every
+    /// in-memory resume AND every cold file-backed recovery reproduced the
+    /// live runner, and the bounded window kept checkpoint growth flat.
+    /// CI greps for this flag in the JSON.
+    pub fn recovery_ok(&self) -> bool {
+        self.all_resumes_match()
+            && !self.durable_rows.is_empty()
+            && self.durable_rows.iter().all(|r| r.recovery_matches)
+            && self.window_growth_ok
     }
 }
 
@@ -128,6 +178,181 @@ fn run_once(
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     (wall_ms, ckpt, runner)
+}
+
+/// Rotation threshold for the file-backed rows: small enough that every
+/// scale's tail spans several segments, so the bench exercises rotation
+/// and sealed-segment recovery, not just the single-file path.
+const SEGMENT_ROTATE_BYTES: u64 = 64 << 10;
+
+/// A scratch directory for one durable run, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir =
+            std::env::temp_dir().join(format!("apg-bench-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Drives the stream once through a file-backed [`CheckpointStore`] with
+/// fsync on: every batch is appended to the write-ahead log, a snapshot is
+/// installed every `every` batches. Returns the wall time, per-operation
+/// costs, final live byte count and the live runner.
+fn run_durable_once(
+    dir: &PathBuf,
+    subscribers: usize,
+    batches: usize,
+    every: usize,
+    seed: u64,
+) -> (f64, f64, f64, u64, StreamingRunner) {
+    let _ = std::fs::remove_dir_all(dir);
+    let config = CdrConfig {
+        initial_subscribers: subscribers,
+        ..CdrConfig::default()
+    };
+    let store_config = StoreConfig {
+        segment_rotate_bytes: SEGMENT_ROTATE_BYTES,
+        fsync: true,
+    };
+    let graph = DynGraph::with_vertices(subscribers);
+    let cfg = AdaptiveConfig::new(K);
+    let partitioner = AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &cfg, seed);
+    let mut runner = StreamingRunner::new(partitioner).iterations_per_batch(ITERS_PER_BATCH);
+    let mut source = CdrStream::new(config, seed);
+    let (mut store, recovered) =
+        CheckpointStore::open(dir, store_config).expect("scratch dir opens clean");
+    assert!(
+        recovered.checkpoint.is_none(),
+        "scratch dir must start empty"
+    );
+
+    let start = Instant::now();
+    let mut install_ms = Vec::new();
+    let mut append_ms = Vec::new();
+    for i in 0..batches {
+        let batch = source.next_batch().expect("CDR stream is open-ended");
+        runner.ingest(&batch);
+        let t = Instant::now();
+        store.append(&batch).expect("append to scratch store");
+        append_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if (i + 1) % every == 0 {
+            let t = Instant::now();
+            store.install(&runner).expect("install to scratch store");
+            install_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let live_bytes = store.store().live_bytes();
+    (
+        wall_ms,
+        mean(&install_ms),
+        mean(&append_ms),
+        live_bytes,
+        runner,
+    )
+}
+
+/// Runs the file-backed cadence sweep and cold-recovery checks.
+fn run_durable(subscribers: usize, batches: usize, reps: usize, seed: u64) -> Vec<DurableRow> {
+    let mut rows = Vec::new();
+    for every in [8usize, 4, 1] {
+        let store_config = StoreConfig {
+            segment_rotate_bytes: SEGMENT_ROTATE_BYTES,
+            fsync: true,
+        };
+        let scratch = ScratchDir::new(&format!("every{every}"));
+        let mut samples = Vec::with_capacity(reps);
+        let mut costs = (0.0, 0.0, 0u64);
+        let mut live: Option<StreamingRunner> = None;
+        for _ in 0..reps {
+            let (ms, install, append, bytes, runner) =
+                run_durable_once(&scratch.0, subscribers, batches, every, seed);
+            samples.push(ms);
+            costs = (install, append, bytes);
+            live = Some(runner);
+        }
+        let live = live.expect("reps >= 1");
+
+        // Cold recovery: reopen the directory as a crashed process would
+        // and check the recovered state replays to exactly the live run.
+        let (_store, recovered) =
+            CheckpointStore::open(&scratch.0, store_config).expect("reopen scratch store");
+        let checkpoint = recovered.checkpoint.expect("a snapshot was installed");
+        let resumed = StreamingRunner::resume(checkpoint);
+        let recovered_batches = resumed.batches_ingested();
+        let recovery_matches = recovered.torn_frames_dropped == 0
+            && recovered_batches == batches
+            && resumed.timeline() == live.timeline()
+            && resumed.timeline_digest() == live.timeline_digest()
+            && resumed.partitioner().graph() == live.partitioner().graph()
+            && resumed.partitioner().partitioning() == live.partitioner().partitioning();
+
+        rows.push(DurableRow {
+            snapshot_every: every,
+            installs: batches / every,
+            wall_ms: WallStats::from_samples(&samples),
+            install_ms_mean: costs.0,
+            append_ms_mean: costs.1,
+            live_bytes: costs.2,
+            recovered_batches,
+            recovery_matches,
+        });
+    }
+    rows
+}
+
+/// Checks the O(window) size contract: at the same stream position a
+/// window-bounded checkpoint must be strictly smaller than the unbounded
+/// one, and the saving must widen as the stream (and with it the evicted
+/// prefix) grows.
+fn check_window_growth(subscribers: usize, batches: usize, seed: u64) -> bool {
+    let window = 2usize;
+    let short = batches / 2;
+    let size_at = |window: usize, upto: usize| -> usize {
+        let config = CdrConfig {
+            initial_subscribers: subscribers,
+            ..CdrConfig::default()
+        };
+        let graph = DynGraph::with_vertices(subscribers);
+        let cfg = AdaptiveConfig::new(K);
+        let partitioner =
+            AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &cfg, seed);
+        let mut runner = StreamingRunner::new(partitioner)
+            .iterations_per_batch(ITERS_PER_BATCH)
+            .timeline_window(window);
+        let mut source = CdrStream::new(config, seed);
+        for _ in 0..upto {
+            let batch = source.next_batch().expect("CDR stream is open-ended");
+            runner.ingest(&batch);
+        }
+        runner.checkpoint().to_bytes().len()
+    };
+    let win_short = size_at(window, short);
+    let win_long = size_at(window, batches);
+    let unb_short = size_at(usize::MAX, short);
+    let unb_long = size_at(usize::MAX, batches);
+    // Graph bytes cancel between same-position pairs, so the comparisons
+    // isolate the timeline term: bounded is smaller, and grows slower.
+    win_short < unb_short
+        && win_long < unb_long
+        && (unb_long - win_long) > (unb_short - win_short)
+        && (win_long.saturating_sub(win_short)) < (unb_long - unb_short)
 }
 
 /// Runs the cadence sweep.
@@ -205,13 +430,20 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> PersistResult {
         rows.push(row);
     }
 
+    let durable_rows = run_durable(subscribers, batches, reps, seed);
+    let window_growth_ok = check_window_growth(subscribers, batches, seed);
+
     PersistResult {
         scale: scale.name(),
         threads_available: apg_exec::available_parallelism(),
         reps,
         subscribers,
         batches,
+        fsync: true,
+        segment_rotate_bytes: SEGMENT_ROTATE_BYTES,
         rows,
+        durable_rows,
+        window_growth_ok,
     }
 }
 
@@ -232,8 +464,14 @@ pub fn to_json(result: &PersistResult) -> String {
         result.reps, result.subscribers, result.batches, K, ITERS_PER_BATCH
     ));
     out.push_str(&format!(
-        "  \"all_resumes_match\": {},\n",
-        result.all_resumes_match()
+        "  \"fsync\": {}, \"segment_rotate_bytes\": {},\n",
+        result.fsync, result.segment_rotate_bytes
+    ));
+    out.push_str(&format!(
+        "  \"all_resumes_match\": {}, \"window_growth_ok\": {}, \"recovery_ok\": {},\n",
+        result.all_resumes_match(),
+        result.window_growth_ok,
+        result.recovery_ok()
     ));
     out.push_str("  \"rows\": [\n");
     for (i, row) in result.rows.iter().enumerate() {
@@ -260,6 +498,32 @@ pub fn to_json(result: &PersistResult) -> String {
             row.resume_ms,
             row.resume_matches,
             if i + 1 < result.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"durable_rows\": [\n");
+    for (i, row) in result.durable_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"snapshot_every\": {}, \"installs\": {}, \
+             \"wall_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"median\": {:.3}}}, \
+             \"install_ms_mean\": {:.3}, \"append_ms_mean\": {:.3}, \
+             \"live_bytes\": {}, \"recovered_batches\": {}, \
+             \"recovery_matches\": {}}}{}\n",
+            row.snapshot_every,
+            row.installs,
+            row.wall_ms.mean,
+            row.wall_ms.min,
+            row.wall_ms.median,
+            row.install_ms_mean,
+            row.append_ms_mean,
+            row.live_bytes,
+            row.recovered_batches,
+            row.recovery_matches,
+            if i + 1 < result.durable_rows.len() {
+                ","
+            } else {
+                ""
+            },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -302,6 +566,36 @@ pub fn print(result: &PersistResult) {
             row.resume_matches,
         );
     }
+    println!(
+        "File-backed (fsync on, {} KiB rotation):",
+        result.segment_rotate_bytes >> 10
+    );
+    println!(
+        "{:>14} {:>9} {:>11} {:>11} {:>11} {:>11} {:>10} {:>7}",
+        "cadence",
+        "installs",
+        "median ms",
+        "install ms",
+        "append ms",
+        "live bytes",
+        "recovered",
+        "match"
+    );
+    for row in &result.durable_rows {
+        println!(
+            "{:>14} {:>9} {:>11.1} {:>11.3} {:>11.3} {:>11} {:>10} {:>7}",
+            format!("every {}", row.snapshot_every),
+            row.installs,
+            row.wall_ms.median,
+            row.install_ms_mean,
+            row.append_ms_mean,
+            row.live_bytes,
+            row.recovered_batches,
+            row.recovery_matches,
+        );
+    }
+    println!("window_growth_ok={}", result.window_growth_ok);
+    println!("recovery_ok={}", result.recovery_ok());
 }
 
 #[cfg(test)]
@@ -329,8 +623,19 @@ mod tests {
                 result.batches % row.snapshot_every.unwrap()
             );
         }
+        assert_eq!(result.durable_rows.len(), 3);
+        for row in &result.durable_rows {
+            assert!(row.recovery_matches, "cold recovery diverged");
+            assert_eq!(row.recovered_batches, result.batches);
+            assert!(row.live_bytes > 0);
+            assert!(row.installs >= 1);
+        }
+        assert!(result.window_growth_ok, "O(window) size contract broken");
+        assert!(result.recovery_ok());
         let json = to_json(&result);
         assert!(json.contains("\"experiment\": \"checkpoint-overhead\""));
         assert!(json.contains("\"all_resumes_match\": true"));
+        assert!(json.contains("\"recovery_ok\": true"));
+        assert!(json.contains("\"durable_rows\""));
     }
 }

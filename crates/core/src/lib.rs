@@ -50,8 +50,11 @@ pub use config::{
     AdaptiveConfig, AdaptiveConfigBuilder, Anneal, ConfigError, PlacementPolicy, QuotaRule,
 };
 pub use partitioner::{AdaptivePartitioner, IterationStats, SweepProfile};
-pub use persist::{PartitionerState, StreamCheckpoint};
+pub use persist::{CheckpointStore, PartitionerState, RecoveredCheckpoint, StreamCheckpoint};
+// The store types `CheckpointStore`'s signatures speak in, so callers can
+// name them without depending on `apg-persist` directly.
+pub use apg_persist::store::{StoreConfig, StoreError};
 pub use quota::QuotaTable;
 pub use runner::ConvergenceReport;
 pub use stats::{mean_and_sem, Summary};
-pub use streaming::{StreamingRunner, TimelineStats};
+pub use streaming::{fold_timeline_digest, StreamingRunner, TimelineStats, TIMELINE_DIGEST_SEED};

@@ -12,12 +12,15 @@
 //!   snapshot was taken (the write-ahead segment).
 //!
 //! The operating loop writes the snapshot rarely and appends each ingested
-//! batch to the tail (O(batch)). A snapshot is O(state), and note that the
-//! state includes the whole [`TimelineStats`] history (plus the recorded
-//! replay log when recording is on) — that is what makes resume exactly
-//! reproduce an uninterrupted run's timeline, but it means snapshot size
-//! grows with stream length, not just graph size; bounding it (a rolling
-//! timeline suffix + digest) is a roadmap item. After a crash,
+//! batch to the tail (O(batch)). A snapshot is O(state): graph plus
+//! assignment plus the *retained* [`TimelineStats`] suffix. With a bounded
+//! [`StreamingRunner::timeline_window`] the suffix is O(window) — evicted
+//! entries are folded into a rolling FNV-1a digest
+//! ([`fold_timeline_digest`](crate::streaming::fold_timeline_digest)), and
+//! the checkpoint carries `(window, batches_ingested, digest)` so the full
+//! history stays pinned byte-for-byte without being stored. With the
+//! default unbounded window the whole history is retained, exactly as
+//! before format v3. After a crash,
 //! [`StreamingRunner::resume`] rebuilds the runner from the snapshot and
 //! re-ingests the tail; because ingestion and the decision sweep are
 //! deterministic, the resumed runner's [`TimelineStats`] timeline — and
@@ -76,12 +79,13 @@
 
 use apg_graph::{DeltaLog, DynGraph, Graph, UpdateBatch};
 use apg_partition::{CapacityModel, Partitioning};
+use apg_persist::store::{SegmentStore, StoreConfig, StoreError};
 use apg_persist::{decode_len, format, Decode, DecodeError, Decoder, Encode, Encoder};
 use apg_streams::SourceCursor;
 
 use crate::config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
 use crate::partitioner::AdaptivePartitioner;
-use crate::streaming::{StreamingRunner, TimelineStats};
+use crate::streaming::{StreamingRunner, TimelineStats, TIMELINE_DIGEST_SEED};
 
 /// The complete logical state of an [`AdaptivePartitioner`], as captured
 /// by [`AdaptivePartitioner::snapshot_state`].
@@ -310,6 +314,19 @@ impl Decode for PartitionerState {
                 ));
             }
         }
+        // The partitioning's size table must equal a recount over the live
+        // vertices: [`AdaptivePartitioner::restore`]'s audit asserts this,
+        // so a decoder that skipped it would turn corrupt (but individually
+        // well-formed) fields into a downstream panic.
+        let mut live_sizes = vec![0usize; usize::from(state.config.num_partitions)];
+        for v in state.graph.vertices() {
+            live_sizes[usize::from(state.partitioning.partition_of(v))] += 1;
+        }
+        if state.partitioning.sizes() != live_sizes.as_slice() {
+            return Err(DecodeError::Corrupt(
+                "partition size table disagrees with the live assignment",
+            ));
+        }
         Ok(state)
     }
 }
@@ -332,7 +349,20 @@ pub struct StreamCheckpoint {
     /// The runner's recorded replay log at the snapshot boundary (empty
     /// unless recording was enabled).
     pub log: DeltaLog,
-    /// Timeline up to the snapshot boundary.
+    /// The runner's timeline retention cap (`usize::MAX` = unbounded).
+    pub timeline_window: usize,
+    /// Batches the runner had ingested at the snapshot boundary — the
+    /// authoritative stream position ([`StreamCheckpoint::cursor`] derives
+    /// from this, *not* from `timeline.len()`, which under-counts once the
+    /// window evicts entries).
+    pub batches_ingested: usize,
+    /// Rolling FNV-1a digest over the timeline entries evicted before the
+    /// snapshot ([`TIMELINE_DIGEST_SEED`] when nothing was evicted).
+    ///
+    /// [`TIMELINE_DIGEST_SEED`]: crate::streaming::TIMELINE_DIGEST_SEED
+    pub timeline_digest: u64,
+    /// The retained timeline suffix up to the snapshot boundary (the whole
+    /// timeline when the window is unbounded).
     pub timeline: Vec<TimelineStats>,
     /// Batches ingested after the snapshot — the write-ahead segment that
     /// resume replays.
@@ -350,8 +380,14 @@ impl StreamCheckpoint {
     /// Source position this checkpoint corresponds to: every batch covered
     /// by the snapshot plus every appended tail batch. Fast-forward a
     /// freshly reconstructed source here before pulling new batches.
+    ///
+    /// Derived from the explicit [`batches_ingested`] counter: with a
+    /// bounded timeline window, `timeline.len()` only counts the retained
+    /// suffix and would silently reposition the source too early.
+    ///
+    /// [`batches_ingested`]: StreamCheckpoint::batches_ingested
     pub fn cursor(&self) -> SourceCursor {
-        SourceCursor::at((self.timeline.len() + self.tail.len()) as u64)
+        SourceCursor::at((self.batches_ingested + self.tail.len()) as u64)
     }
 
     /// Folds the oldest `batches` tail segments into a fresh snapshot and
@@ -386,6 +422,9 @@ impl StreamCheckpoint {
             iterations_per_batch: self.iterations_per_batch,
             record: self.record,
             log: std::mem::take(&mut self.log),
+            timeline_window: self.timeline_window,
+            batches_ingested: self.batches_ingested,
+            timeline_digest: self.timeline_digest,
             timeline: std::mem::take(&mut self.timeline),
             tail: prefix,
         });
@@ -415,6 +454,9 @@ impl Encode for StreamCheckpoint {
         self.iterations_per_batch.encode(enc);
         self.record.encode(enc);
         self.log.encode(enc);
+        self.timeline_window.encode(enc);
+        self.batches_ingested.encode(enc);
+        self.timeline_digest.encode(enc);
         self.timeline.encode(enc);
         self.tail.encode(enc);
     }
@@ -426,11 +468,44 @@ impl Decode for StreamCheckpoint {
         let iterations_per_batch = usize::decode(dec)?;
         let record = bool::decode(dec)?;
         let log = DeltaLog::decode(dec)?;
+        let timeline_window = usize::decode(dec)?;
+        if timeline_window == 0 {
+            return Err(DecodeError::Corrupt("timeline window is zero"));
+        }
+        let batches_ingested = usize::decode(dec)?;
+        let timeline_digest = u64::decode(dec)?;
         let timeline_len = decode_len(dec, 14)?;
-        let mut timeline = Vec::with_capacity(timeline_len);
+        // The retained suffix can never exceed the window, the global
+        // counter, or the remaining payload (the capacity clamp: a flipped
+        // length byte must not force a multi-GB allocation).
+        if timeline_len > batches_ingested {
+            return Err(DecodeError::Corrupt(
+                "timeline longer than the batches-ingested counter",
+            ));
+        }
+        if timeline_len > timeline_window {
+            return Err(DecodeError::Corrupt("timeline overflows its window"));
+        }
+        let evicted = batches_ingested - timeline_len;
+        if evicted > 0 {
+            // The runner evicts only on window overflow, so once anything
+            // has been evicted the retained suffix fills the window
+            // exactly; a shorter suffix is unreachable from a real runner.
+            if timeline_len != timeline_window {
+                return Err(DecodeError::Corrupt(
+                    "timeline shorter than both its window and the ingest counter",
+                ));
+            }
+        } else if timeline_digest != TIMELINE_DIGEST_SEED {
+            // Nothing was evicted: the digest must still be the seed.
+            return Err(DecodeError::Corrupt(
+                "timeline digest diverged with no evicted entries",
+            ));
+        }
+        let mut timeline = Vec::with_capacity(timeline_len.min(dec.remaining()));
         for i in 0..timeline_len {
             let stats = TimelineStats::decode(dec)?;
-            if stats.batch != i {
+            if stats.batch != evicted + i {
                 return Err(DecodeError::Corrupt("timeline batch indices not dense"));
             }
             timeline.push(stats);
@@ -441,6 +516,9 @@ impl Decode for StreamCheckpoint {
             iterations_per_batch,
             record,
             log,
+            timeline_window,
+            batches_ingested,
+            timeline_digest,
             timeline,
             tail,
         })
@@ -462,6 +540,9 @@ impl StreamingRunner {
             iterations_per_batch: self.iterations_budget(),
             record: self.records_log(),
             log: self.log().clone(),
+            timeline_window: self.timeline_window_len(),
+            batches_ingested: self.batches_ingested(),
+            timeline_digest: self.timeline_digest(),
             timeline: self.timeline().to_vec(),
             tail: DeltaLog::new(),
         }
@@ -483,6 +564,9 @@ impl StreamingRunner {
             iterations_per_batch,
             record,
             log,
+            timeline_window,
+            batches_ingested,
+            timeline_digest,
             timeline,
             tail,
         } = checkpoint;
@@ -492,11 +576,108 @@ impl StreamingRunner {
             record,
             log,
             timeline,
+            timeline_window,
+            batches_ingested,
+            timeline_digest,
         );
         for batch in tail.into_batches() {
             runner.ingest(&batch);
         }
         runner
+    }
+}
+
+/// A [`StreamCheckpoint`] recovered from disk by [`CheckpointStore::open`].
+#[derive(Debug)]
+pub struct RecoveredCheckpoint {
+    /// The durable checkpoint — the manifest-named snapshot with every
+    /// durable write-ahead batch re-appended to its tail. `None` when the
+    /// directory held no durable snapshot (fresh store).
+    pub checkpoint: Option<StreamCheckpoint>,
+    /// Write-ahead frames dropped by torn-tail repair (see
+    /// [`apg_persist::store::Recovery::torn_frames_dropped`]). The
+    /// recovered checkpoint's [`cursor`](StreamCheckpoint::cursor) already
+    /// accounts for them: re-drive the source from there.
+    pub torn_frames_dropped: usize,
+}
+
+/// File-backed durability for a [`StreamingRunner`]: the
+/// [`SegmentStore`] with the checkpoint codec wired on top, so the
+/// operating loop works with a *directory path* instead of in-memory byte
+/// blobs.
+///
+/// The loop: [`CheckpointStore::install`] rarely (writes the full
+/// snapshot and flips the manifest), [`CheckpointStore::append`] after
+/// every ingested batch (one O(batch) durable frame). Each `install`
+/// starts a fresh write-ahead segment and garbage-collects everything
+/// before it — the file-backed analogue of
+/// [`StreamCheckpoint::compact`]'s bounding of recovery time. After a
+/// crash, [`CheckpointStore::open`] rebuilds the exact
+/// `(snapshot, tail)` checkpoint that was durable at the kill point.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    store: SegmentStore,
+}
+
+impl CheckpointStore {
+    /// Opens (or creates) the store in `dir`, recovering whatever was
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`]
+    /// for damaged sealed artefacts, [`StoreError::Decode`] when a frame
+    /// is intact at the store layer but its payload violates the
+    /// checkpoint/batch codecs. Never panics on any byte pattern.
+    pub fn open(
+        dir: &std::path::Path,
+        config: StoreConfig,
+    ) -> Result<(CheckpointStore, RecoveredCheckpoint), StoreError> {
+        let (store, recovery) = SegmentStore::open(dir, config)?;
+        let checkpoint = match recovery.snapshot {
+            None => None,
+            Some(bytes) => {
+                let mut ckpt = StreamCheckpoint::from_bytes(&bytes)?;
+                for payload in &recovery.tail {
+                    ckpt.append(UpdateBatch::from_bytes(payload)?);
+                }
+                Some(ckpt)
+            }
+        };
+        Ok((
+            CheckpointStore { store },
+            RecoveredCheckpoint {
+                checkpoint,
+                torn_frames_dropped: recovery.torn_frames_dropped,
+            },
+        ))
+    }
+
+    /// Captures `runner`'s state and makes it the durable recovery root
+    /// (snapshot file + manifest flip + fresh write-ahead segment).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`]; on error the previous root stays durable.
+    pub fn install(&mut self, runner: &StreamingRunner) -> Result<(), StoreError> {
+        self.store.install_snapshot(&runner.checkpoint().to_bytes())
+    }
+
+    /// Write-aheads one ingested batch (call with exactly the batches the
+    /// runner ingests, in ingestion order — the disk mirror of
+    /// [`StreamCheckpoint::append`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`].
+    pub fn append(&mut self, batch: &UpdateBatch) -> Result<(), StoreError> {
+        self.store.append(&batch.to_bytes())
+    }
+
+    /// The underlying payload-agnostic store (sequence numbers, live byte
+    /// accounting, the directory path).
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
     }
 }
 
@@ -571,7 +752,9 @@ mod tests {
     }
 
     fn ckpt_cursor_of(runner: &StreamingRunner) -> apg_streams::SourceCursor {
-        apg_streams::SourceCursor::at(runner.timeline().len() as u64)
+        // `batches_ingested`, not `timeline().len()`: with a bounded window
+        // the retained timeline is shorter than the stream position.
+        apg_streams::SourceCursor::at(runner.batches_ingested() as u64)
     }
 
     #[test]

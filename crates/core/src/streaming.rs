@@ -156,6 +156,30 @@ impl PartialEq for TimelineStats {
 
 impl Eq for TimelineStats {}
 
+/// Seed for the rolling timeline digest: the FNV-1a 64-bit offset basis.
+/// A runner that has evicted nothing carries exactly this value.
+pub const TIMELINE_DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one evicted [`TimelineStats`] entry into the rolling digest:
+/// FNV-1a over the little-endian bytes of every deterministic field, in
+/// [`TimelineStats::deterministic_fields`] order (`wall_ms` excluded — the
+/// digest must be reproducible across hosts and resumes).
+///
+/// The digest is how a bounded timeline keeps the full-history equality
+/// contract: two runs whose retained suffixes match *and* whose digests
+/// match processed identical timelines, entry for entry.
+pub fn fold_timeline_digest(digest: u64, stats: &TimelineStats) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut digest = digest;
+    for field in stats.deterministic_fields() {
+        for byte in (field as u64).to_le_bytes() {
+            digest ^= u64::from(byte);
+            digest = digest.wrapping_mul(FNV_PRIME);
+        }
+    }
+    digest
+}
+
 /// The optional interleaved serving phase: a query workload served once
 /// per ingested batch, with its own per-round timeline.
 #[derive(Debug, Clone)]
@@ -178,6 +202,17 @@ pub struct StreamingRunner {
     record: bool,
     log: DeltaLog,
     timeline: Vec<TimelineStats>,
+    /// Retained timeline entries are capped at this many; older entries
+    /// are folded into `timeline_digest` and dropped. `usize::MAX` means
+    /// unbounded (the default — full history in memory and on disk).
+    timeline_window: usize,
+    /// Batches ingested over the runner's whole life, eviction-proof: the
+    /// global batch counter `TimelineStats::batch` is stamped from (and
+    /// the source cursor is derived from).
+    batches_ingested: usize,
+    /// FNV-1a fold over every evicted timeline entry, in eviction order;
+    /// [`TIMELINE_DIGEST_SEED`] while nothing has been evicted.
+    timeline_digest: u64,
     serve: Option<ServePhase>,
     iterations_skipped: usize,
 }
@@ -192,6 +227,9 @@ impl StreamingRunner {
             record: false,
             log: DeltaLog::new(),
             timeline: Vec::new(),
+            timeline_window: usize::MAX,
+            batches_ingested: 0,
+            timeline_digest: TIMELINE_DIGEST_SEED,
             serve: None,
             iterations_skipped: 0,
         }
@@ -203,6 +241,40 @@ impl StreamingRunner {
     pub fn iterations_per_batch(mut self, n: usize) -> Self {
         self.iterations_per_batch = n;
         self
+    }
+
+    /// Bounds the retained timeline to the most recent `window` entries.
+    /// Older entries are folded — oldest first — into the
+    /// [rolling digest](StreamingRunner::timeline_digest) and dropped, so
+    /// checkpoints stay O(window) instead of O(stream) while the
+    /// (suffix, digest, [`batches_ingested`]) triple still pins the full
+    /// history byte-for-byte.
+    ///
+    /// The default is `usize::MAX` (keep everything). Shrinking the window
+    /// on a runner that already holds more entries evicts immediately.
+    ///
+    /// [`batches_ingested`]: StreamingRunner::batches_ingested
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0: a checkpoint must retain at least the
+    /// latest entry so resume can re-anchor the stream position.
+    pub fn timeline_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "timeline window must retain at least one entry");
+        self.timeline_window = window;
+        self.evict_timeline_overflow();
+        self
+    }
+
+    /// Folds and drops timeline entries past the window, oldest first.
+    fn evict_timeline_overflow(&mut self) {
+        let excess = self.timeline.len().saturating_sub(self.timeline_window);
+        if excess == 0 {
+            return;
+        }
+        for stats in self.timeline.drain(..excess) {
+            self.timeline_digest = fold_timeline_digest(self.timeline_digest, &stats);
+        }
     }
 
     /// Enables recording every ingested batch into a [`DeltaLog`], so the
@@ -269,7 +341,7 @@ impl StreamingRunner {
         }
         use apg_graph::Graph;
         let stats = TimelineStats {
-            batch: self.timeline.len(),
+            batch: self.batches_ingested,
             deltas: batch.len(),
             vertices_added: report.new_vertices.len(),
             vertices_removed: report.vertices_removed,
@@ -285,6 +357,8 @@ impl StreamingRunner {
             wall_ms,
         };
         self.timeline.push(stats.clone());
+        self.batches_ingested += 1;
+        self.evict_timeline_overflow();
         self.serve_after_batch(stats.batch as u64);
         stats
     }
@@ -364,9 +438,40 @@ impl StreamingRunner {
         self.partitioner.run_to_convergence()
     }
 
-    /// The per-batch timeline so far, oldest first.
+    /// The retained per-batch timeline, oldest first. With an unbounded
+    /// [window](StreamingRunner::timeline_window) (the default) this is
+    /// the whole run; with a bounded one it is the most recent `window`
+    /// entries (earlier ones live on in the
+    /// [digest](StreamingRunner::timeline_digest)).
     pub fn timeline(&self) -> &[TimelineStats] {
         &self.timeline
+    }
+
+    /// The timeline retention cap (`usize::MAX` = unbounded).
+    pub fn timeline_window_len(&self) -> usize {
+        self.timeline_window
+    }
+
+    /// Batches ingested over the runner's whole life — the stream
+    /// position, independent of how many timeline entries are retained.
+    pub fn batches_ingested(&self) -> usize {
+        self.batches_ingested
+    }
+
+    /// The rolling FNV-1a digest over every evicted timeline entry
+    /// ([`TIMELINE_DIGEST_SEED`] while nothing has been evicted). Together
+    /// with the retained suffix and [`batches_ingested`], this pins the
+    /// full per-batch history: equality of the triple implies the two runs
+    /// recorded identical `TimelineStats` for every batch ever ingested.
+    ///
+    /// [`batches_ingested`]: StreamingRunner::batches_ingested
+    pub fn timeline_digest(&self) -> u64 {
+        self.timeline_digest
+    }
+
+    /// How many timeline entries have been evicted into the digest.
+    pub fn timeline_evicted(&self) -> usize {
+        self.batches_ingested - self.timeline.len()
     }
 
     /// The per-batch iteration budget currently in effect.
@@ -392,12 +497,16 @@ impl StreamingRunner {
 
     /// Reassembles a runner from checkpointed parts (resume path; see
     /// [`crate::persist`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_checkpoint_parts(
         partitioner: AdaptivePartitioner,
         iterations_per_batch: usize,
         record: bool,
         log: DeltaLog,
         timeline: Vec<TimelineStats>,
+        timeline_window: usize,
+        batches_ingested: usize,
+        timeline_digest: u64,
     ) -> Self {
         StreamingRunner {
             partitioner,
@@ -405,6 +514,9 @@ impl StreamingRunner {
             record,
             log,
             timeline,
+            timeline_window,
+            batches_ingested,
+            timeline_digest,
             // The serve phase is deliberately outside the wire format (the
             // workload is an in-process concern); resumed runners re-attach
             // one via `serve_workload` if they want interleaved serving.

@@ -70,7 +70,10 @@ impl Decode for DynGraph {
     /// at tombstoned endpoints.
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let n = decode_len(dec, 1)?;
-        let mut alive = Vec::with_capacity(n);
+        // Clamp the pre-allocation to the bytes actually present: the
+        // min_item_bytes guard in decode_len bounds n against the payload,
+        // but capacity must never trust a decoded length outright.
+        let mut alive = Vec::with_capacity(n.min(dec.remaining()));
         for _ in 0..n {
             alive.push(bool::decode(dec)?);
         }

@@ -17,6 +17,10 @@
 //!   version and the payload, so on-disk artefacts are self-identifying
 //!   and version drift is rejected loudly (see
 //!   [`format::encode_framed`] / [`format::decode_framed`]).
+//! * [`store`] — the file-backed durability layer: append-only log
+//!   segments and snapshot files of length-prefixed CRC-checksummed
+//!   frames, an atomically-flipped manifest, explicit fsync ordering, and
+//!   torn-tail recovery (see [`store::SegmentStore`]).
 //!
 //! The domain types implement the traits next to their definitions
 //! (`apg-graph` for graphs/deltas, `apg-partition` for assignments,
@@ -48,6 +52,8 @@
 //! dec.finish().unwrap();
 //! assert_eq!(back, value);
 //! ```
+
+pub mod store;
 
 /// Why a byte stream failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -193,10 +199,18 @@ impl<'a> Decoder<'a> {
 
     /// Reads a LEB128 varint written by [`Encoder::write_varint`].
     ///
+    /// Only the *minimal* encoding is accepted: a terminal zero byte after
+    /// at least one continuation byte (e.g. `0x85 0x00` for 5) decodes to
+    /// the same value the one-byte form would, so accepting it would break
+    /// the canonical-bytes contract (decode-then-re-encode must reproduce
+    /// the input) the golden fixtures and the decoder-totality property
+    /// tests pin.
+    ///
     /// # Errors
     ///
     /// [`DecodeError::UnexpectedEof`] on truncation,
-    /// [`DecodeError::Corrupt`] if the varint runs past 64 bits.
+    /// [`DecodeError::Corrupt`] if the varint runs past 64 bits or is not
+    /// minimally encoded.
     pub fn read_varint(&mut self) -> Result<u64, DecodeError> {
         let mut value = 0u64;
         let mut shift = 0u32;
@@ -207,6 +221,9 @@ impl<'a> Decoder<'a> {
             }
             value |= u64::from(byte & 0x7f) << shift;
             if byte & 0x80 == 0 {
+                if shift > 0 && byte == 0 {
+                    return Err(DecodeError::Corrupt("varint is not minimally encoded"));
+                }
                 return Ok(value);
             }
             shift += 7;
@@ -456,7 +473,13 @@ pub mod format {
     ///
     /// v2: `AdaptiveConfig` gained the persisted `drain_floor` field
     /// (adaptive per-batch iteration budget).
-    pub const VERSION: u16 = 2;
+    ///
+    /// v3: `StreamCheckpoint` bounds its timeline — it carries a rolling
+    /// `TimelineStats` suffix plus `timeline_window`, `batches_ingested`
+    /// and `timeline_digest` (an FNV-1a fold over the evicted prefix)
+    /// instead of the full history, making snapshot size O(window) rather
+    /// than O(stream).
+    pub const VERSION: u16 = 3;
 
     /// Magic for a [`DynGraph`](../../apg_graph/struct.DynGraph.html)
     /// snapshot.
@@ -605,6 +628,23 @@ mod tests {
             u64::from_bytes(&bytes).unwrap_err(),
             DecodeError::Corrupt(_)
         ));
+    }
+
+    #[test]
+    fn non_minimal_varint_is_corrupt() {
+        // 0x85 0x00 decodes to 5 under a permissive reader, but re-encodes
+        // as the single byte 0x05 — canonical decoding must reject it.
+        assert!(matches!(
+            u64::from_bytes(&[0x85, 0x00]).unwrap_err(),
+            DecodeError::Corrupt("varint is not minimally encoded")
+        ));
+        // Longer padding chains are equally non-minimal.
+        assert!(matches!(
+            u64::from_bytes(&[0xff, 0x80, 0x80, 0x00]).unwrap_err(),
+            DecodeError::Corrupt("varint is not minimally encoded")
+        ));
+        // The single zero byte *is* the minimal encoding of 0.
+        assert_eq!(u64::from_bytes(&[0x00]).unwrap(), 0);
     }
 
     #[test]

@@ -245,10 +245,11 @@ fn burst_and_deletion_wave_match_reference() {
 }
 
 /// The slab rework is layout-only: the persisted snapshot format must not
-/// have moved. Bumping this constant requires re-blessing the golden
-/// fixtures (see `persist_fixtures.rs`) — it must never change as a side
-/// effect of an in-memory layout change.
+/// move as a side effect of an in-memory layout change. Bumping this
+/// constant requires re-blessing the golden fixtures (see
+/// `persist_fixtures.rs`) — v3 is the bounded-checkpoint format (rolling
+/// timeline suffix + digest; an *intentional* bump, re-blessed with it).
 #[test]
 fn wire_format_version_unchanged() {
-    assert_eq!(apg::persist::format::VERSION, 2);
+    assert_eq!(apg::persist::format::VERSION, 3);
 }
