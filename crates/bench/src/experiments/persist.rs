@@ -47,7 +47,12 @@ pub struct PersistRow {
     pub snapshots: usize,
     /// Wall-clock for the full run, ingest + checkpointing, over reps.
     pub wall_ms: WallStats,
-    /// Overhead over the no-checkpoint baseline, percent of baseline mean.
+    /// Overhead over the no-checkpoint baseline: the **median of per-rep
+    /// paired deltas**, each cadence rep timed back-to-back with its own
+    /// fresh baseline rep. Pairing removes the drift between a baseline
+    /// measured once up front and cadences measured later — the unpaired
+    /// scheme reported negative overhead whenever the machine warmed up
+    /// between the two.
     pub overhead_pct: f64,
     /// Serialised size of the final checkpoint, bytes.
     pub checkpoint_bytes: usize,
@@ -64,8 +69,9 @@ pub struct PersistRow {
 }
 
 /// One file-backed cadence measurement: the same stream written through
-/// [`CheckpointStore`] — fsync'd write-ahead appends plus atomic snapshot
-/// installs — then recovered cold from disk.
+/// [`CheckpointStore`] — fsync'd write-ahead appends plus atomic
+/// (incremental where possible) snapshot installs — then recovered cold
+/// from disk by replaying base + delta chain + tail.
 #[derive(Debug, Clone)]
 pub struct DurableRow {
     /// Batches between durable snapshot installs.
@@ -73,6 +79,15 @@ pub struct DurableRow {
     /// Snapshot installs performed (each: segment fsync, snapshot write +
     /// fsync, manifest rename + directory fsync).
     pub installs: usize,
+    /// How many installs were delta-encoded onto the previous root rather
+    /// than full snapshots (the first install and every rebase are full).
+    pub incremental_installs: usize,
+    /// Median of per-install `delta bytes / full snapshot bytes at the
+    /// same point` over the incremental installs — the steady-state
+    /// O(changed-state) payoff (the median shrugs off the warm-up
+    /// installs taken while the partitioner is still converging).
+    /// 0 when no install was incremental.
+    pub delta_bytes_ratio: f64,
     /// Wall-clock for the full run, ingest + appends + installs.
     pub wall_ms: WallStats,
     /// Mean cost of one durable snapshot install, milliseconds. This is
@@ -114,6 +129,11 @@ pub struct PersistResult {
     /// strictly below the unbounded run's at the same stream position
     /// (the O(window) vs O(stream) contract).
     pub window_growth_ok: bool,
+    /// Whether a cold recovery through the delta chain reproduced the live
+    /// runner exactly — timeline, digest, graph, partitioning — at
+    /// parallelism 1, 2, and 8, with at least one genuinely incremental
+    /// install in every run. CI greps for this flag in the JSON.
+    pub incremental_equals_full: bool,
 }
 
 impl PersistResult {
@@ -131,6 +151,7 @@ impl PersistResult {
             && !self.durable_rows.is_empty()
             && self.durable_rows.iter().all(|r| r.recovery_matches)
             && self.window_growth_ok
+            && self.incremental_equals_full
     }
 }
 
@@ -203,17 +224,29 @@ impl Drop for ScratchDir {
     }
 }
 
+/// Everything one file-backed run yields.
+struct DurableOnce {
+    wall_ms: f64,
+    install_ms_mean: f64,
+    append_ms_mean: f64,
+    live_bytes: u64,
+    incremental_installs: usize,
+    delta_bytes_ratio: f64,
+    runner: StreamingRunner,
+}
+
 /// Drives the stream once through a file-backed [`CheckpointStore`] with
-/// fsync on: every batch is appended to the write-ahead log, a snapshot is
-/// installed every `every` batches. Returns the wall time, per-operation
-/// costs, final live byte count and the live runner.
+/// fsync on: every batch is appended to the write-ahead log, a checkpoint
+/// (delta-encoded whenever the chain policy allows) is installed every
+/// `every` batches.
 fn run_durable_once(
     dir: &PathBuf,
     subscribers: usize,
     batches: usize,
     every: usize,
+    parallelism: Option<usize>,
     seed: u64,
-) -> (f64, f64, f64, u64, StreamingRunner) {
+) -> DurableOnce {
     let _ = std::fs::remove_dir_all(dir);
     let config = CdrConfig {
         initial_subscribers: subscribers,
@@ -222,9 +255,13 @@ fn run_durable_once(
     let store_config = StoreConfig {
         segment_rotate_bytes: SEGMENT_ROTATE_BYTES,
         fsync: true,
+        ..StoreConfig::default()
     };
     let graph = DynGraph::with_vertices(subscribers);
-    let cfg = AdaptiveConfig::new(K);
+    let mut cfg = AdaptiveConfig::new(K);
+    if let Some(p) = parallelism {
+        cfg = cfg.parallelism(p);
+    }
     let partitioner = AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &cfg, seed);
     let mut runner = StreamingRunner::new(partitioner).iterations_per_batch(ITERS_PER_BATCH);
     let mut source = CdrStream::new(config, seed);
@@ -238,6 +275,8 @@ fn run_durable_once(
     let start = Instant::now();
     let mut install_ms = Vec::new();
     let mut append_ms = Vec::new();
+    let mut incremental_installs = 0usize;
+    let mut delta_ratios = Vec::new();
     for i in 0..batches {
         let batch = source.next_batch().expect("CDR stream is open-ended");
         runner.ingest(&batch);
@@ -246,8 +285,17 @@ fn run_durable_once(
         append_ms.push(t.elapsed().as_secs_f64() * 1e3);
         if (i + 1) % every == 0 {
             let t = Instant::now();
-            store.install(&runner).expect("install to scratch store");
+            let report = store
+                .install(&mut runner)
+                .expect("install to scratch store");
             install_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            if report.incremental {
+                incremental_installs += 1;
+                // Price the delta against the full snapshot it displaced
+                // (encoded outside the timed window).
+                let full_bytes = runner.checkpoint().to_bytes().len();
+                delta_ratios.push(report.bytes as f64 / full_bytes as f64);
+            }
         }
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -258,44 +306,48 @@ fn run_durable_once(
             xs.iter().sum::<f64>() / xs.len() as f64
         }
     };
-    let live_bytes = store.store().live_bytes();
-    (
+    DurableOnce {
         wall_ms,
-        mean(&install_ms),
-        mean(&append_ms),
-        live_bytes,
+        install_ms_mean: mean(&install_ms),
+        append_ms_mean: mean(&append_ms),
+        live_bytes: store.store().live_bytes(),
+        incremental_installs,
+        // Median, not mean: the first chained installs land while the
+        // partitioner is still converging (near-total churn), and the
+        // ratio the row should advertise is the steady-state one.
+        delta_bytes_ratio: median(&delta_ratios),
         runner,
-    )
+    }
 }
 
 /// Runs the file-backed cadence sweep and cold-recovery checks.
 fn run_durable(subscribers: usize, batches: usize, reps: usize, seed: u64) -> Vec<DurableRow> {
     let mut rows = Vec::new();
-    for every in [8usize, 4, 1] {
+    for every in [8usize, 4, 2, 1] {
         let store_config = StoreConfig {
             segment_rotate_bytes: SEGMENT_ROTATE_BYTES,
             fsync: true,
+            ..StoreConfig::default()
         };
         let scratch = ScratchDir::new(&format!("every{every}"));
         let mut samples = Vec::with_capacity(reps);
-        let mut costs = (0.0, 0.0, 0u64);
-        let mut live: Option<StreamingRunner> = None;
+        let mut last: Option<DurableOnce> = None;
         for _ in 0..reps {
-            let (ms, install, append, bytes, runner) =
-                run_durable_once(&scratch.0, subscribers, batches, every, seed);
-            samples.push(ms);
-            costs = (install, append, bytes);
-            live = Some(runner);
+            let once = run_durable_once(&scratch.0, subscribers, batches, every, None, seed);
+            samples.push(once.wall_ms);
+            last = Some(once);
         }
-        let live = live.expect("reps >= 1");
+        let last = last.expect("reps >= 1");
 
-        // Cold recovery: reopen the directory as a crashed process would
-        // and check the recovered state replays to exactly the live run.
+        // Cold recovery: reopen the directory as a crashed process would —
+        // replaying snapshot + delta chain + tail — and check the
+        // recovered state replays to exactly the live run.
         let (_store, recovered) =
             CheckpointStore::open(&scratch.0, store_config).expect("reopen scratch store");
         let checkpoint = recovered.checkpoint.expect("a snapshot was installed");
         let resumed = StreamingRunner::resume(checkpoint);
         let recovered_batches = resumed.batches_ingested();
+        let live = &last.runner;
         let recovery_matches = recovered.torn_frames_dropped == 0
             && recovered_batches == batches
             && resumed.timeline() == live.timeline()
@@ -306,15 +358,62 @@ fn run_durable(subscribers: usize, batches: usize, reps: usize, seed: u64) -> Ve
         rows.push(DurableRow {
             snapshot_every: every,
             installs: batches / every,
+            incremental_installs: last.incremental_installs,
+            delta_bytes_ratio: last.delta_bytes_ratio,
             wall_ms: WallStats::from_samples(&samples),
-            install_ms_mean: costs.0,
-            append_ms_mean: costs.1,
-            live_bytes: costs.2,
+            install_ms_mean: last.install_ms_mean,
+            append_ms_mean: last.append_ms_mean,
+            live_bytes: last.live_bytes,
             recovered_batches,
             recovery_matches,
         });
     }
     rows
+}
+
+/// Checks the incremental-install contract at parallelism 1, 2 and 8:
+/// drive a CDR stream through a delta-chaining [`CheckpointStore`], kill
+/// it cold, and require the base-plus-chain recovery to reproduce the
+/// live runner exactly — with at least one genuinely incremental install,
+/// so the check can never pass vacuously on the full-snapshot path.
+fn check_incremental_equals_full(subscribers: usize, batches: usize, seed: u64) -> bool {
+    // Install every 2 batches: the first install is full, the rest chain
+    // as deltas (the default `max_chain_len` of 8 is not reached). The
+    // store only chains a delta when it is smaller than the full snapshot,
+    // so the check needs a graph large enough that per-batch churn is a
+    // small fraction of the state — the Tiny subscriber count churns
+    // wall-to-wall and would never leave the full-snapshot path.
+    let every = 2;
+    let subscribers = subscribers.max(2_000);
+    let batches = batches.clamp(6, 12);
+    [1usize, 2, 8].into_iter().all(|parallelism| {
+        let scratch = ScratchDir::new(&format!("ieq-p{parallelism}"));
+        let once = run_durable_once(
+            &scratch.0,
+            subscribers,
+            batches,
+            every,
+            Some(parallelism),
+            seed,
+        );
+        if once.incremental_installs == 0 {
+            return false;
+        }
+        let store_config = StoreConfig {
+            segment_rotate_bytes: SEGMENT_ROTATE_BYTES,
+            fsync: true,
+            ..StoreConfig::default()
+        };
+        let (_store, recovered) =
+            CheckpointStore::open(&scratch.0, store_config).expect("reopen scratch store");
+        let resumed = StreamingRunner::resume(recovered.checkpoint.expect("installed"));
+        let live = &once.runner;
+        resumed.batches_ingested() == batches
+            && resumed.timeline() == live.timeline()
+            && resumed.timeline_digest() == live.timeline_digest()
+            && resumed.partitioner().graph() == live.partitioner().graph()
+            && resumed.partitioner().partitioning() == live.partitioner().partitioning()
+    })
 }
 
 /// Checks the O(window) size contract: at the same stream position a
@@ -355,6 +454,22 @@ fn check_window_growth(subscribers: usize, batches: usize, seed: u64) -> bool {
         && (win_long.saturating_sub(win_short)) < (unb_long - unb_short)
 }
 
+/// Median of a sample set; 0 when empty (the baseline row has no paired
+/// deltas).
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
 /// Runs the cadence sweep.
 pub fn run(scale: Scale, reps: usize, seed: u64) -> PersistResult {
     let subscribers = cdr_subscribers(scale);
@@ -363,25 +478,32 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> PersistResult {
     let cadences: [Option<usize>; 4] = [None, Some(8), Some(4), Some(1)];
 
     let mut rows = Vec::new();
-    let mut baseline_mean = None;
     for snapshot_every in cadences {
         let mut samples = Vec::with_capacity(reps);
+        let mut paired_deltas = Vec::with_capacity(reps);
         let mut last: Option<(Option<StreamCheckpoint>, StreamingRunner)> = None;
         for _ in 0..reps {
-            let (ms, ckpt, runner) = run_once(subscribers, batches, snapshot_every, seed);
-            samples.push(ms);
-            last = Some((ckpt, runner));
+            // Each cadence rep is paired with its own baseline rep run
+            // back-to-back, so the overhead delta sees the same machine
+            // state on both sides. Comparing against a single baseline
+            // measured minutes earlier reported *negative* overhead
+            // whenever the host warmed up in between.
+            if snapshot_every.is_some() {
+                let (base_ms, _, _) = run_once(subscribers, batches, None, seed);
+                let (ms, ckpt, runner) = run_once(subscribers, batches, snapshot_every, seed);
+                if base_ms > 0.0 {
+                    paired_deltas.push(100.0 * (ms - base_ms) / base_ms);
+                }
+                samples.push(ms);
+                last = Some((ckpt, runner));
+            } else {
+                let (ms, ckpt, runner) = run_once(subscribers, batches, None, seed);
+                samples.push(ms);
+                last = Some((ckpt, runner));
+            }
         }
         let wall = WallStats::from_samples(&samples);
-        if baseline_mean.is_none() {
-            baseline_mean = Some(wall.mean);
-        }
-        let base = baseline_mean.expect("baseline runs first");
-        let overhead_pct = if base > 0.0 {
-            100.0 * (wall.mean - base) / base
-        } else {
-            0.0
-        };
+        let overhead_pct = median(&paired_deltas);
 
         let (ckpt, runner) = last.expect("reps >= 1");
         let row = match ckpt {
@@ -432,6 +554,7 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> PersistResult {
 
     let durable_rows = run_durable(subscribers, batches, reps, seed);
     let window_growth_ok = check_window_growth(subscribers, batches, seed);
+    let incremental_equals_full = check_incremental_equals_full(subscribers, batches, seed);
 
     PersistResult {
         scale: scale.name(),
@@ -444,6 +567,7 @@ pub fn run(scale: Scale, reps: usize, seed: u64) -> PersistResult {
         rows,
         durable_rows,
         window_growth_ok,
+        incremental_equals_full,
     }
 }
 
@@ -468,9 +592,11 @@ pub fn to_json(result: &PersistResult) -> String {
         result.fsync, result.segment_rotate_bytes
     ));
     out.push_str(&format!(
-        "  \"all_resumes_match\": {}, \"window_growth_ok\": {}, \"recovery_ok\": {},\n",
+        "  \"all_resumes_match\": {}, \"window_growth_ok\": {}, \
+         \"incremental_equals_full\": {}, \"recovery_ok\": {},\n",
         result.all_resumes_match(),
         result.window_growth_ok,
+        result.incremental_equals_full,
         result.recovery_ok()
     ));
     out.push_str("  \"rows\": [\n");
@@ -505,12 +631,15 @@ pub fn to_json(result: &PersistResult) -> String {
     for (i, row) in result.durable_rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"snapshot_every\": {}, \"installs\": {}, \
+             \"incremental_installs\": {}, \"delta_bytes_ratio\": {:.4}, \
              \"wall_ms\": {{\"mean\": {:.3}, \"min\": {:.3}, \"median\": {:.3}}}, \
              \"install_ms_mean\": {:.3}, \"append_ms_mean\": {:.3}, \
              \"live_bytes\": {}, \"recovered_batches\": {}, \
              \"recovery_matches\": {}}}{}\n",
             row.snapshot_every,
             row.installs,
+            row.incremental_installs,
+            row.delta_bytes_ratio,
             row.wall_ms.mean,
             row.wall_ms.min,
             row.wall_ms.median,
@@ -571,9 +700,11 @@ pub fn print(result: &PersistResult) {
         result.segment_rotate_bytes >> 10
     );
     println!(
-        "{:>14} {:>9} {:>11} {:>11} {:>11} {:>11} {:>10} {:>7}",
+        "{:>14} {:>9} {:>6} {:>7} {:>11} {:>11} {:>11} {:>11} {:>10} {:>7}",
         "cadence",
         "installs",
+        "incr",
+        "ratio",
         "median ms",
         "install ms",
         "append ms",
@@ -583,9 +714,11 @@ pub fn print(result: &PersistResult) {
     );
     for row in &result.durable_rows {
         println!(
-            "{:>14} {:>9} {:>11.1} {:>11.3} {:>11.3} {:>11} {:>10} {:>7}",
+            "{:>14} {:>9} {:>6} {:>7.3} {:>11.1} {:>11.3} {:>11.3} {:>11} {:>10} {:>7}",
             format!("every {}", row.snapshot_every),
             row.installs,
+            row.incremental_installs,
+            row.delta_bytes_ratio,
             row.wall_ms.median,
             row.install_ms_mean,
             row.append_ms_mean,
@@ -595,6 +728,7 @@ pub fn print(result: &PersistResult) {
         );
     }
     println!("window_growth_ok={}", result.window_growth_ok);
+    println!("incremental_equals_full={}", result.incremental_equals_full);
     println!("recovery_ok={}", result.recovery_ok());
 }
 
@@ -623,18 +757,42 @@ mod tests {
                 result.batches % row.snapshot_every.unwrap()
             );
         }
-        assert_eq!(result.durable_rows.len(), 3);
+        assert_eq!(result.durable_rows.len(), 4);
         for row in &result.durable_rows {
             assert!(row.recovery_matches, "cold recovery diverged");
             assert_eq!(row.recovered_batches, result.batches);
             assert!(row.live_bytes > 0);
             assert!(row.installs >= 1);
+            assert!(
+                row.incremental_installs < row.installs,
+                "the first install can never be incremental"
+            );
+            if row.incremental_installs > 0 {
+                assert!(
+                    row.delta_bytes_ratio > 0.0 && row.delta_bytes_ratio < 1.0,
+                    "deltas must be strictly smaller than full snapshots, got ratio {}",
+                    row.delta_bytes_ratio
+                );
+            }
         }
+        assert!(
+            result
+                .durable_rows
+                .iter()
+                .any(|r| r.incremental_installs > 0),
+            "at least one cadence must exercise the delta chain"
+        );
         assert!(result.window_growth_ok, "O(window) size contract broken");
+        assert!(
+            result.incremental_equals_full,
+            "delta-chain recovery diverged from the full-snapshot path"
+        );
         assert!(result.recovery_ok());
         let json = to_json(&result);
         assert!(json.contains("\"experiment\": \"checkpoint-overhead\""));
         assert!(json.contains("\"all_resumes_match\": true"));
+        assert!(json.contains("\"incremental_equals_full\": true"));
+        assert!(json.contains("\"delta_bytes_ratio\""));
         assert!(json.contains("\"recovery_ok\": true"));
         assert!(json.contains("\"durable_rows\""));
     }

@@ -50,7 +50,10 @@ pub use config::{
     AdaptiveConfig, AdaptiveConfigBuilder, Anneal, ConfigError, PlacementPolicy, QuotaRule,
 };
 pub use partitioner::{AdaptivePartitioner, IterationStats, SweepProfile};
-pub use persist::{CheckpointStore, PartitionerState, RecoveredCheckpoint, StreamCheckpoint};
+pub use persist::{
+    CheckpointDelta, CheckpointStore, InstallReport, PartitionerState, RecoveredCheckpoint,
+    StreamCheckpoint,
+};
 // The store types `CheckpointStore`'s signatures speak in, so callers can
 // name them without depending on `apg-persist` directly.
 pub use apg_persist::store::{StoreConfig, StoreError};

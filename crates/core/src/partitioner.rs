@@ -5,7 +5,7 @@ use std::time::Instant;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use apg_exec::{fanout, vertex_rng, ActiveSet, ShardPlan};
+use apg_exec::{fanout, vertex_rng, ActiveSet, ChangedSet, ShardPlan};
 use apg_graph::delta::DeltaTarget;
 use apg_graph::{ApplyReport, DynGraph, Graph, UpdateBatch, VertexId};
 use apg_partition::{
@@ -181,6 +181,14 @@ pub struct AdaptivePartitioner {
     /// type-level docs. Not persisted: restore conservatively re-marks all
     /// live vertices (skipped ones would have decided *Stay* anyway).
     active: ActiveSet,
+    /// Which vertex slots have *mutated* (liveness, adjacency, or label)
+    /// since the last checkpoint drained it. Unlike `active` — which is
+    /// cleared as the sweep retires vertices — this set only grows until
+    /// [`AdaptivePartitioner::drain_changed`] resets it, so it is exactly
+    /// the slot superset an incremental snapshot must re-encode. Not
+    /// persisted: restore starts it fully marked (the first checkpoint
+    /// after a restore is a full one anyway).
+    changed: ChangedSet,
     /// Largest partition size, tracked incrementally; `max_stale` flags
     /// that the current maximum may have shrunk (the argmax partition lost
     /// a vertex) and must be recomputed on next read.
@@ -303,6 +311,10 @@ impl AdaptivePartitioner {
             degree_mass[partitioning.partition_of(v) as usize] += graph.degree(v);
             active.mark(v as usize);
         }
+        // No base to diff against yet: the first checkpoint must re-encode
+        // everything, so the changed set starts saturated.
+        let mut changed = ChangedSet::with_len(graph.num_vertices());
+        changed.mark_all();
         let max_live = partitioning.sizes().iter().copied().max().unwrap_or(0);
         let k = config.num_partitions as usize;
         let scratch = IterScratch {
@@ -323,6 +335,7 @@ impl AdaptivePartitioner {
             quiet_streak: 0,
             pending: Vec::new(),
             active,
+            changed,
             max_live,
             max_stale: false,
             scratch,
@@ -384,6 +397,36 @@ impl AdaptivePartitioner {
     /// Panics if `v` is outside the slot range.
     pub fn is_active(&self, v: VertexId) -> bool {
         self.active.contains(v as usize)
+    }
+
+    /// Vertex slots mutated (liveness, adjacency, or label) since the last
+    /// [`AdaptivePartitioner::drain_changed`]. This is the slot superset an
+    /// incremental checkpoint re-encodes — `O(changed)` bytes, not
+    /// `O(|V|)`.
+    pub fn num_changed(&self) -> usize {
+        self.changed.num_marked()
+    }
+
+    /// The mutated slots in ascending order, *without* resetting the set —
+    /// for checkpoint writers that must keep the marks until the install
+    /// is durable (then [`AdaptivePartitioner::clear_changed`]).
+    pub fn changed_slots(&self) -> Vec<usize> {
+        self.changed.collect_sorted()
+    }
+
+    /// Drains the changed-slot set: returns the mutated slots in ascending
+    /// order and resets the set, establishing the *current* state as the
+    /// new diff base. Callers must checkpoint the state they drain
+    /// against, or the next drain will under-report.
+    pub fn drain_changed(&mut self) -> Vec<usize> {
+        self.changed.drain_sorted()
+    }
+
+    /// Resets the changed-slot set without reading it — used when a full
+    /// (non-incremental) checkpoint of the current state was just taken,
+    /// or when the state was just restored from one.
+    pub fn clear_changed(&mut self) {
+        self.changed.clear();
     }
 
     /// Whether the convergence criterion (no migrations for
@@ -665,6 +708,9 @@ impl AdaptivePartitioner {
                 continue;
             }
             self.partitioning.move_vertex(v, to);
+            // Only the migrant's own label changed; neighbours are dirty
+            // for the *sweep* (out.dirty above), not for checkpoints.
+            self.changed.mark(v as usize);
             self.note_size_gain(to);
             self.note_size_loss(from);
         }
@@ -687,6 +733,8 @@ impl AdaptivePartitioner {
             self.active.mark(w as usize);
         }
         self.active.mark(v as usize);
+        // Checkpoint-wise only v's own state (its label) changed.
+        self.changed.mark(v as usize);
         let deg = self.graph.degree(v);
         self.degree_mass[from as usize] -= deg;
         self.degree_mass[to as usize] += deg;
@@ -804,6 +852,8 @@ impl AdaptivePartitioner {
         self.partitioning.grow_to(v as usize + 1, p);
         self.active.grow_to(v as usize + 1);
         self.active.mark(v as usize);
+        self.changed.grow_to(v as usize + 1);
+        self.changed.mark(v as usize);
         self.note_size_gain(p);
         self.quiet_streak = 0;
         v
@@ -825,6 +875,8 @@ impl AdaptivePartitioner {
             self.degree_mass[self.partitioning.partition_of(v) as usize] += 1;
             self.active.mark(u as usize);
             self.active.mark(v as usize);
+            self.changed.mark(u as usize);
+            self.changed.mark(v as usize);
             self.quiet_streak = 0;
         }
         added
@@ -843,6 +895,8 @@ impl AdaptivePartitioner {
             self.degree_mass[self.partitioning.partition_of(v) as usize] -= 1;
             self.active.mark(u as usize);
             self.active.mark(v as usize);
+            self.changed.mark(u as usize);
+            self.changed.mark(v as usize);
             self.quiet_streak = 0;
         }
         removed
@@ -862,12 +916,15 @@ impl AdaptivePartitioner {
             }
             self.degree_mass[self.partitioning.partition_of(w) as usize] -= 1;
             self.active.mark(w as usize);
+            self.changed.mark(w as usize);
         }
         self.degree_mass[pv as usize] -= self.graph.degree(v);
         self.graph.remove_vertex(v);
         self.partitioning.forget_vertex(v);
         self.note_size_loss(pv);
         self.active.clear(v as usize);
+        // The tombstone leaves the sweep but *is* a checkpoint change.
+        self.changed.mark(v as usize);
         self.quiet_streak = 0;
         true
     }

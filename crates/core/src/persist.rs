@@ -16,7 +16,7 @@
 //! assignment plus the *retained* [`TimelineStats`] suffix. With a bounded
 //! [`StreamingRunner::timeline_window`] the suffix is O(window) — evicted
 //! entries are folded into a rolling FNV-1a digest
-//! ([`fold_timeline_digest`](crate::streaming::fold_timeline_digest)), and
+//! ([`fold_timeline_digest`]), and
 //! the checkpoint carries `(window, batches_ingested, digest)` so the full
 //! history stays pinned byte-for-byte without being stored. With the
 //! default unbounded window the whole history is retained, exactly as
@@ -77,15 +77,17 @@
 //! assert_eq!(resumed.ingest(&next), runner.ingest(&next));
 //! ```
 
-use apg_graph::{DeltaLog, DynGraph, Graph, UpdateBatch};
-use apg_partition::{CapacityModel, Partitioning};
+use apg_graph::{DeltaLog, DynGraph, Graph, GraphDiff, UpdateBatch};
+use apg_partition::{CapacityModel, PartitionId, Partitioning};
 use apg_persist::store::{SegmentStore, StoreConfig, StoreError};
 use apg_persist::{decode_len, format, Decode, DecodeError, Decoder, Encode, Encoder};
 use apg_streams::SourceCursor;
 
 use crate::config::{AdaptiveConfig, Anneal, PlacementPolicy, QuotaRule};
 use crate::partitioner::AdaptivePartitioner;
-use crate::streaming::{StreamingRunner, TimelineStats, TIMELINE_DIGEST_SEED};
+use crate::streaming::{
+    fold_timeline_digest, StreamingRunner, TimelineStats, TIMELINE_DIGEST_SEED,
+};
 
 /// The complete logical state of an [`AdaptivePartitioner`], as captured
 /// by [`AdaptivePartitioner::snapshot_state`].
@@ -283,10 +285,51 @@ impl Encode for PartitionerState {
     }
 }
 
+impl PartitionerState {
+    /// Cross-field invariants (assignment covering the graph, matching
+    /// partition counts, size table equal to a live recount) — shared by
+    /// the binary decoder and the incremental-checkpoint apply path, so
+    /// [`AdaptivePartitioner::restore`] can never panic on reconstituted
+    /// state regardless of how it was built.
+    pub(crate) fn validate(&self) -> Result<(), DecodeError> {
+        if self.partitioning.num_vertices() != self.graph.num_vertices() {
+            return Err(DecodeError::Corrupt(
+                "assignment does not cover the graph's slots",
+            ));
+        }
+        if self.partitioning.num_partitions() != self.config.num_partitions {
+            return Err(DecodeError::Corrupt(
+                "assignment and config disagree on the partition count",
+            ));
+        }
+        if let Some(caps) = &self.fixed_capacities {
+            if caps.num_partitions() != self.config.num_partitions {
+                return Err(DecodeError::Corrupt(
+                    "capacity table and config disagree on the partition count",
+                ));
+            }
+        }
+        // The partitioning's size table must equal a recount over the live
+        // vertices: [`AdaptivePartitioner::restore`]'s audit asserts this,
+        // so a validator that skipped it would turn corrupt (but
+        // individually well-formed) fields into a downstream panic.
+        let mut live_sizes = vec![0usize; usize::from(self.config.num_partitions)];
+        for v in self.graph.vertices() {
+            live_sizes[usize::from(self.partitioning.partition_of(v))] += 1;
+        }
+        if self.partitioning.sizes() != live_sizes.as_slice() {
+            return Err(DecodeError::Corrupt(
+                "partition size table disagrees with the live assignment",
+            ));
+        }
+        Ok(())
+    }
+}
+
 impl Decode for PartitionerState {
-    /// Validates cross-field consistency (assignment covering the graph,
-    /// matching partition counts) so [`AdaptivePartitioner::restore`] can
-    /// never panic on decoded state.
+    /// Validates cross-field consistency (see
+    /// `PartitionerState::validate`) so [`AdaptivePartitioner::restore`]
+    /// can never panic on decoded state.
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let state = PartitionerState {
             graph: DynGraph::decode(dec)?,
@@ -297,36 +340,7 @@ impl Decode for PartitionerState {
             quiet_streak: usize::decode(dec)?,
             fixed_capacities: Option::<CapacityModel>::decode(dec)?,
         };
-        if state.partitioning.num_vertices() != state.graph.num_vertices() {
-            return Err(DecodeError::Corrupt(
-                "assignment does not cover the graph's slots",
-            ));
-        }
-        if state.partitioning.num_partitions() != state.config.num_partitions {
-            return Err(DecodeError::Corrupt(
-                "assignment and config disagree on the partition count",
-            ));
-        }
-        if let Some(caps) = &state.fixed_capacities {
-            if caps.num_partitions() != state.config.num_partitions {
-                return Err(DecodeError::Corrupt(
-                    "capacity table and config disagree on the partition count",
-                ));
-            }
-        }
-        // The partitioning's size table must equal a recount over the live
-        // vertices: [`AdaptivePartitioner::restore`]'s audit asserts this,
-        // so a decoder that skipped it would turn corrupt (but individually
-        // well-formed) fields into a downstream panic.
-        let mut live_sizes = vec![0usize; usize::from(state.config.num_partitions)];
-        for v in state.graph.vertices() {
-            live_sizes[usize::from(state.partitioning.partition_of(v))] += 1;
-        }
-        if state.partitioning.sizes() != live_sizes.as_slice() {
-            return Err(DecodeError::Corrupt(
-                "partition size table disagrees with the live assignment",
-            ));
-        }
+        state.validate()?;
         Ok(state)
     }
 }
@@ -446,6 +460,46 @@ impl StreamCheckpoint {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         format::decode_framed(format::MAGIC_CHECKPOINT, bytes)
     }
+
+    /// Structural invariants every checkpoint must satisfy, however it was
+    /// built (decoded whole, or reconstituted by [`CheckpointDelta::apply`]):
+    /// the timeline-window bookkeeping and the partitioner-state
+    /// cross-checks.
+    pub(crate) fn validate(&self) -> Result<(), DecodeError> {
+        if self.timeline_window == 0 {
+            return Err(DecodeError::Corrupt("timeline window is zero"));
+        }
+        if self.timeline.len() > self.batches_ingested {
+            return Err(DecodeError::Corrupt(
+                "timeline longer than the batches-ingested counter",
+            ));
+        }
+        if self.timeline.len() > self.timeline_window {
+            return Err(DecodeError::Corrupt("timeline overflows its window"));
+        }
+        let evicted = self.batches_ingested - self.timeline.len();
+        if evicted > 0 {
+            // The runner evicts only on window overflow, so once anything
+            // has been evicted the retained suffix fills the window
+            // exactly; a shorter suffix is unreachable from a real runner.
+            if self.timeline.len() != self.timeline_window {
+                return Err(DecodeError::Corrupt(
+                    "timeline shorter than both its window and the ingest counter",
+                ));
+            }
+        } else if self.timeline_digest != TIMELINE_DIGEST_SEED {
+            // Nothing was evicted: the digest must still be the seed.
+            return Err(DecodeError::Corrupt(
+                "timeline digest diverged with no evicted entries",
+            ));
+        }
+        for (i, stats) in self.timeline.iter().enumerate() {
+            if stats.batch != evicted + i {
+                return Err(DecodeError::Corrupt("timeline batch indices not dense"));
+            }
+        }
+        self.state.validate()
+    }
 }
 
 impl Encode for StreamCheckpoint {
@@ -469,49 +523,18 @@ impl Decode for StreamCheckpoint {
         let record = bool::decode(dec)?;
         let log = DeltaLog::decode(dec)?;
         let timeline_window = usize::decode(dec)?;
-        if timeline_window == 0 {
-            return Err(DecodeError::Corrupt("timeline window is zero"));
-        }
         let batches_ingested = usize::decode(dec)?;
         let timeline_digest = u64::decode(dec)?;
+        // The capacity clamp: a flipped length byte must not force a
+        // multi-GB allocation (every shape invariant is re-checked by
+        // `validate` below).
         let timeline_len = decode_len(dec, 14)?;
-        // The retained suffix can never exceed the window, the global
-        // counter, or the remaining payload (the capacity clamp: a flipped
-        // length byte must not force a multi-GB allocation).
-        if timeline_len > batches_ingested {
-            return Err(DecodeError::Corrupt(
-                "timeline longer than the batches-ingested counter",
-            ));
-        }
-        if timeline_len > timeline_window {
-            return Err(DecodeError::Corrupt("timeline overflows its window"));
-        }
-        let evicted = batches_ingested - timeline_len;
-        if evicted > 0 {
-            // The runner evicts only on window overflow, so once anything
-            // has been evicted the retained suffix fills the window
-            // exactly; a shorter suffix is unreachable from a real runner.
-            if timeline_len != timeline_window {
-                return Err(DecodeError::Corrupt(
-                    "timeline shorter than both its window and the ingest counter",
-                ));
-            }
-        } else if timeline_digest != TIMELINE_DIGEST_SEED {
-            // Nothing was evicted: the digest must still be the seed.
-            return Err(DecodeError::Corrupt(
-                "timeline digest diverged with no evicted entries",
-            ));
-        }
         let mut timeline = Vec::with_capacity(timeline_len.min(dec.remaining()));
-        for i in 0..timeline_len {
-            let stats = TimelineStats::decode(dec)?;
-            if stats.batch != evicted + i {
-                return Err(DecodeError::Corrupt("timeline batch indices not dense"));
-            }
-            timeline.push(stats);
+        for _ in 0..timeline_len {
+            timeline.push(TimelineStats::decode(dec)?);
         }
         let tail = DeltaLog::decode(dec)?;
-        Ok(StreamCheckpoint {
+        let checkpoint = StreamCheckpoint {
             state,
             iterations_per_batch,
             record,
@@ -521,6 +544,378 @@ impl Decode for StreamCheckpoint {
             timeline_digest,
             timeline,
             tail,
+        };
+        checkpoint.validate()?;
+        Ok(checkpoint)
+    }
+}
+
+/// A delta-encoded checkpoint: the difference between a durable base
+/// [`StreamCheckpoint`] and a newer one, `O(changed-state)` on the wire
+/// instead of `O(state)`.
+///
+/// A delta names its base by `(sequence, digest)` — the same link the
+/// [`SegmentStore`] records file-to-file — and carries exactly what moved
+/// since: the [`GraphDiff`] over the mutation-tracked changed slots, label
+/// records for re-assigned slots, the recorded-log suffix, and the
+/// timeline window's slide (dropped-entry count + new entries). Small
+/// scalars (config, seed, counters, the `O(k)` size table) ride along in
+/// full — they are a rounding error next to the graph. Applying a delta to
+/// its base ([`CheckpointDelta::apply`]) reproduces the newer checkpoint
+/// **byte-identically**, which is what lets a recovery replay
+/// base-plus-chain and land exactly where a full snapshot would have.
+///
+/// Serialised as a framed `APGD` container
+/// ([`format::MAGIC_DELTA`]); deltas are decoded from disk, so
+/// `apply` validates everything — structurally via
+/// [`GraphDiff::validate_against`], and end-to-end via
+/// `StreamCheckpoint::validate` — before any state escapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointDelta {
+    /// Store sequence number of the base this delta chains to.
+    pub base_seq: u64,
+    /// FNV-1a digest of the base's durable frame payload (must match the
+    /// store's link; see [`SegmentStore::root_digest`]).
+    pub base_digest: u64,
+    /// Structural graph changes since the base.
+    pub graph: GraphDiff,
+    /// `(slot, label)` records, strictly ascending by slot: every slot
+    /// whose assignment changed, plus every newborn slot (whose label the
+    /// base cannot know).
+    pub labels: Vec<(usize, PartitionId)>,
+    /// The full live-size table of the final state (`O(k)`).
+    pub sizes: Vec<usize>,
+    /// Final configuration, carried in full.
+    pub config: AdaptiveConfig,
+    /// RNG seed (never changes mid-stream, but carried for self-containment).
+    pub seed: u64,
+    /// Final iteration counter.
+    pub iteration: usize,
+    /// Final quiet streak.
+    pub quiet_streak: usize,
+    /// Final fixed capacities, if any.
+    pub fixed_capacities: Option<CapacityModel>,
+    /// Final per-batch iteration budget.
+    pub iterations_per_batch: usize,
+    /// Final recording flag.
+    pub record: bool,
+    /// Length the base's recorded log must have — the suffix below chains
+    /// at exactly this offset.
+    pub base_log_len: usize,
+    /// Recorded-log batches appended since the base.
+    pub log_suffix: DeltaLog,
+    /// How many of the base's retained timeline entries the window slid
+    /// past (dropped from the front).
+    pub timeline_dropped: usize,
+    /// Timeline entries newer than the base's coverage.
+    pub timeline_new: Vec<TimelineStats>,
+    /// Final timeline window (carried verbatim).
+    pub timeline_window: usize,
+    /// Final stream position.
+    pub batches_ingested: usize,
+    /// Final evicted-entry digest. Re-derived from the base's digest and
+    /// the dropped entries whenever the drop fully accounts for the
+    /// eviction gap; carried verbatim otherwise (entries that were born
+    /// *and* evicted between the two checkpoints exist in neither).
+    pub timeline_digest: u64,
+    /// Write-ahead tail (empty for store-installed deltas: the store's
+    /// segments carry the tail).
+    pub tail: DeltaLog,
+}
+
+impl CheckpointDelta {
+    /// Encodes `current` against `base`, given the ascending changed-slot
+    /// superset the mutation paths tracked (see
+    /// [`AdaptivePartitioner::changed_slots`]) and the store link
+    /// `(base_seq, base_digest)` of the durable base.
+    ///
+    /// Returns `None` when `current` is not reachable from `base` by
+    /// append-only growth — the recorded log is not an extension of the
+    /// base's, the timeline's retained base suffix was rewritten, or the
+    /// slot space shrank. Callers fall back to a full snapshot install;
+    /// `None` is a policy signal, not an error.
+    pub fn between(
+        base: &StreamCheckpoint,
+        current: &StreamCheckpoint,
+        changed: &[usize],
+        base_seq: u64,
+        base_digest: u64,
+    ) -> Option<CheckpointDelta> {
+        let base_n = base.state.graph.num_vertices();
+        let cur_n = current.state.graph.num_vertices();
+        if cur_n < base_n || current.batches_ingested < base.batches_ingested {
+            return None;
+        }
+        // The recorded log only ever appends; anything else (a toggled
+        // `record`, an in-memory compaction) breaks the chain.
+        if base.log.len() > current.log.len()
+            || base.log.batches() != &current.log.batches()[..base.log.len()]
+        {
+            return None;
+        }
+        // The timeline slides forward: entries the window still retains
+        // from the base must reappear verbatim at the front of `current`.
+        let base_evicted = base.batches_ingested - base.timeline.len();
+        let cur_evicted = current.batches_ingested - current.timeline.len();
+        if cur_evicted < base_evicted {
+            return None;
+        }
+        let keep = base
+            .batches_ingested
+            .saturating_sub(cur_evicted)
+            .min(base.timeline.len());
+        let dropped = base.timeline.len() - keep;
+        if current.timeline.len() < keep || base.timeline[dropped..] != current.timeline[..keep] {
+            return None;
+        }
+        let graph = GraphDiff::between(&base.state.graph, &current.state.graph, changed);
+        // Label records: every tracked slot whose assignment moved, plus
+        // newborns (merged in exactly as `GraphDiff::between` does).
+        let base_assign = base.state.partitioning.as_slice();
+        let cur_assign = current.state.partitioning.as_slice();
+        let mut labels = Vec::new();
+        let mut push_label = |slot: usize| {
+            if slot >= base_n || base_assign[slot] != cur_assign[slot] {
+                labels.push((slot, cur_assign[slot]));
+            }
+        };
+        let mut newborn = base_n..cur_n;
+        let mut next_newborn = newborn.next();
+        for &slot in changed {
+            while let Some(nb) = next_newborn {
+                if nb >= slot {
+                    break;
+                }
+                push_label(nb);
+                next_newborn = newborn.next();
+            }
+            if next_newborn == Some(slot) {
+                next_newborn = newborn.next();
+            }
+            push_label(slot);
+        }
+        while let Some(nb) = next_newborn {
+            push_label(nb);
+            next_newborn = newborn.next();
+        }
+        Some(CheckpointDelta {
+            base_seq,
+            base_digest,
+            graph,
+            labels,
+            sizes: current.state.partitioning.sizes().to_vec(),
+            config: current.state.config.clone(),
+            seed: current.state.seed,
+            iteration: current.state.iteration,
+            quiet_streak: current.state.quiet_streak,
+            fixed_capacities: current.state.fixed_capacities.clone(),
+            iterations_per_batch: current.iterations_per_batch,
+            record: current.record,
+            base_log_len: base.log.len(),
+            log_suffix: DeltaLog::from(current.log.batches()[base.log.len()..].to_vec()),
+            timeline_dropped: dropped,
+            timeline_new: current.timeline[keep..].to_vec(),
+            timeline_window: current.timeline_window,
+            batches_ingested: current.batches_ingested,
+            timeline_digest: current.timeline_digest,
+            tail: current.tail.clone(),
+        })
+    }
+
+    /// Reconstitutes the checkpoint this delta encodes, given its base.
+    ///
+    /// Every invariant is validated before the result escapes: the graph
+    /// diff against the base graph, label/size consistency, log chaining,
+    /// the timeline slide and its digest, and finally the full
+    /// `StreamCheckpoint::validate` pass — a delta applied to the wrong
+    /// base, or a corrupted one, yields a typed error, never a panic or a
+    /// silently divergent checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Corrupt`] naming the violated invariant.
+    pub fn apply(&self, base: &StreamCheckpoint) -> Result<StreamCheckpoint, DecodeError> {
+        let mut graph = base.state.graph.clone();
+        self.graph.apply_to(&mut graph)?;
+        let base_n = base.state.graph.num_vertices();
+        // Labels: base assignment, slid under the records. Tombstones keep
+        // their stale base label (the wire format persists it), so absence
+        // of a record is itself meaningful.
+        let mut assignment = base.state.partitioning.as_slice().to_vec();
+        assignment.resize(self.graph.new_slots, 0);
+        for &(slot, label) in &self.labels {
+            assignment[slot] = label;
+        }
+        for slot in base_n..self.graph.new_slots {
+            if self
+                .labels
+                .binary_search_by_key(&slot, |&(s, _)| s)
+                .is_err()
+            {
+                return Err(DecodeError::Corrupt("newborn slot missing a label record"));
+            }
+        }
+        let partitioning = Partitioning::from_labels_and_live_sizes(assignment, self.sizes.clone())
+            .map_err(DecodeError::Corrupt)?;
+        // Log: the suffix chains at exactly the base's recorded length.
+        if self.base_log_len != base.log.len() {
+            return Err(DecodeError::Corrupt(
+                "delta log suffix does not chain to the base log",
+            ));
+        }
+        let mut log = base.log.clone();
+        for batch in self.log_suffix.batches() {
+            log.record(batch.clone());
+        }
+        // Timeline: slide the base window, then append the new entries.
+        if self.timeline_dropped > base.timeline.len() {
+            return Err(DecodeError::Corrupt(
+                "delta drops more timeline entries than the base retains",
+            ));
+        }
+        let mut timeline = base.timeline[self.timeline_dropped..].to_vec();
+        timeline.extend(self.timeline_new.iter().cloned());
+        let base_evicted = base.batches_ingested - base.timeline.len();
+        let cur_evicted =
+            self.batches_ingested
+                .checked_sub(timeline.len())
+                .ok_or(DecodeError::Corrupt(
+                    "timeline longer than the batches-ingested counter",
+                ))?;
+        if cur_evicted < base_evicted {
+            return Err(DecodeError::Corrupt(
+                "delta timeline evicts fewer entries than its base",
+            ));
+        }
+        // When the dropped base entries fully account for the eviction
+        // gap, the final digest is derivable — require it to match. (A
+        // gap wider than the drop means entries were born and evicted
+        // between the checkpoints; their stats exist in neither side, so
+        // the carried digest is taken on faith and the store's frame CRC
+        // plus chain digest guard its integrity.)
+        if cur_evicted - base_evicted == self.timeline_dropped {
+            let mut digest = base.timeline_digest;
+            for stats in &base.timeline[..self.timeline_dropped] {
+                digest = fold_timeline_digest(digest, stats);
+            }
+            if digest != self.timeline_digest {
+                return Err(DecodeError::Corrupt(
+                    "delta timeline digest does not extend the base's",
+                ));
+            }
+        }
+        let checkpoint = StreamCheckpoint {
+            state: PartitionerState {
+                graph,
+                partitioning,
+                config: self.config.clone(),
+                seed: self.seed,
+                iteration: self.iteration,
+                quiet_streak: self.quiet_streak,
+                fixed_capacities: self.fixed_capacities.clone(),
+            },
+            iterations_per_batch: self.iterations_per_batch,
+            record: self.record,
+            log,
+            timeline_window: self.timeline_window,
+            batches_ingested: self.batches_ingested,
+            timeline_digest: self.timeline_digest,
+            timeline,
+            tail: self.tail.clone(),
+        };
+        checkpoint.validate()?;
+        Ok(checkpoint)
+    }
+
+    /// Serialises as a framed, versioned delta file (`APGD` magic).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format::encode_framed(format::MAGIC_DELTA, self)
+    }
+
+    /// Restores a delta written by [`CheckpointDelta::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`]: wrong magic, unsupported version, truncation,
+    /// or a payload violating the bytes-only delta invariants (base-aware
+    /// validation happens in [`CheckpointDelta::apply`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        format::decode_framed(format::MAGIC_DELTA, bytes)
+    }
+}
+
+impl Encode for CheckpointDelta {
+    fn encode(&self, enc: &mut Encoder) {
+        self.base_seq.encode(enc);
+        self.base_digest.encode(enc);
+        self.graph.encode(enc);
+        self.labels.len().encode(enc);
+        for &(slot, label) in &self.labels {
+            slot.encode(enc);
+            label.encode(enc);
+        }
+        self.sizes.encode(enc);
+        self.config.encode(enc);
+        self.seed.encode(enc);
+        self.iteration.encode(enc);
+        self.quiet_streak.encode(enc);
+        self.fixed_capacities.encode(enc);
+        self.iterations_per_batch.encode(enc);
+        self.record.encode(enc);
+        self.base_log_len.encode(enc);
+        self.log_suffix.encode(enc);
+        self.timeline_dropped.encode(enc);
+        self.timeline_new.encode(enc);
+        self.timeline_window.encode(enc);
+        self.batches_ingested.encode(enc);
+        self.timeline_digest.encode(enc);
+        self.tail.encode(enc);
+    }
+}
+
+impl Decode for CheckpointDelta {
+    /// Bytes-only validation (label ordering and range); everything that
+    /// needs the base checkpoint lives in [`CheckpointDelta::apply`].
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let base_seq = u64::decode(dec)?;
+        let base_digest = u64::decode(dec)?;
+        let graph = GraphDiff::decode(dec)?;
+        let labels_len = decode_len(dec, 2)?;
+        let mut labels = Vec::with_capacity(labels_len.min(dec.remaining()));
+        let mut prev: Option<usize> = None;
+        for _ in 0..labels_len {
+            let slot = usize::decode(dec)?;
+            let label = PartitionId::decode(dec)?;
+            if slot >= graph.new_slots {
+                return Err(DecodeError::Corrupt("label record slot out of range"));
+            }
+            if prev.is_some_and(|p| p >= slot) {
+                return Err(DecodeError::Corrupt("label records not strictly ascending"));
+            }
+            prev = Some(slot);
+            labels.push((slot, label));
+        }
+        Ok(CheckpointDelta {
+            base_seq,
+            base_digest,
+            graph,
+            labels,
+            sizes: Vec::decode(dec)?,
+            config: AdaptiveConfig::decode(dec)?,
+            seed: u64::decode(dec)?,
+            iteration: usize::decode(dec)?,
+            quiet_streak: usize::decode(dec)?,
+            fixed_capacities: Option::decode(dec)?,
+            iterations_per_batch: usize::decode(dec)?,
+            record: bool::decode(dec)?,
+            base_log_len: usize::decode(dec)?,
+            log_suffix: DeltaLog::decode(dec)?,
+            timeline_dropped: usize::decode(dec)?,
+            timeline_new: Vec::decode(dec)?,
+            timeline_window: usize::decode(dec)?,
+            batches_ingested: usize::decode(dec)?,
+            timeline_digest: u64::decode(dec)?,
+            tail: DeltaLog::decode(dec)?,
         })
     }
 }
@@ -580,6 +975,11 @@ impl StreamingRunner {
             batches_ingested,
             timeline_digest,
         );
+        // Restore saturates the changed-slot set (its base is unknown in
+        // general), but here the base is exact: the restored state *is*
+        // the checkpoint's snapshot, so nothing has changed relative to it
+        // yet. Clear before the tail replay re-marks the tail's churn.
+        runner.partitioner_mut().clear_changed();
         for batch in tail.into_batches() {
             runner.ingest(&batch);
         }
@@ -601,43 +1001,80 @@ pub struct RecoveredCheckpoint {
     pub torn_frames_dropped: usize,
 }
 
+/// What one [`CheckpointStore::install`] durably wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallReport {
+    /// Whether the checkpoint was encoded incrementally — a
+    /// [`CheckpointDelta`] chained onto the previous root — rather than as
+    /// a full snapshot (the first install, a rebase, or a fallback when
+    /// the runner's history was not an append-only extension of the base).
+    pub incremental: bool,
+    /// Serialised payload size in bytes (of the delta or full snapshot).
+    pub bytes: usize,
+}
+
 /// File-backed durability for a [`StreamingRunner`]: the
 /// [`SegmentStore`] with the checkpoint codec wired on top, so the
 /// operating loop works with a *directory path* instead of in-memory byte
 /// blobs.
 ///
-/// The loop: [`CheckpointStore::install`] rarely (writes the full
-/// snapshot and flips the manifest), [`CheckpointStore::append`] after
-/// every ingested batch (one O(batch) durable frame). Each `install`
-/// starts a fresh write-ahead segment and garbage-collects everything
-/// before it — the file-backed analogue of
+/// The loop: [`CheckpointStore::install`] rarely, [`CheckpointStore::append`]
+/// after every ingested batch (one O(batch) durable frame). Installs are
+/// **incremental** whenever possible: the store keeps the chain-head
+/// checkpoint in memory as the diff base, drains the runner's changed-slot
+/// tracking, and writes an `O(changed-state)` [`CheckpointDelta`] chained
+/// onto the previous root — falling back to a full snapshot on the first
+/// install, when the chain reaches
+/// [`StoreConfig::max_chain_len`] (the rebase, which also
+/// garbage-collects the superseded chain), or when the runner's history
+/// is not an append-only extension of the base. Each install starts a
+/// fresh write-ahead segment — the file-backed analogue of
 /// [`StreamCheckpoint::compact`]'s bounding of recovery time. After a
-/// crash, [`CheckpointStore::open`] rebuilds the exact
-/// `(snapshot, tail)` checkpoint that was durable at the kill point.
+/// crash, [`CheckpointStore::open`] replays base plus chain and rebuilds
+/// the exact `(snapshot, tail)` checkpoint that was durable at the kill
+/// point.
 #[derive(Debug)]
 pub struct CheckpointStore {
     store: SegmentStore,
+    /// The decoded chain-head checkpoint (tail-free) — what the next
+    /// incremental install diffs against. `None` only on a fresh store
+    /// before its first install.
+    base: Option<StreamCheckpoint>,
 }
 
 impl CheckpointStore {
     /// Opens (or creates) the store in `dir`, recovering whatever was
-    /// durable.
+    /// durable: the root snapshot, every chained delta applied in order,
+    /// then the write-ahead tail re-appended.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`]
-    /// for damaged sealed artefacts, [`StoreError::Decode`] when a frame
-    /// is intact at the store layer but its payload violates the
-    /// checkpoint/batch codecs. Never panics on any byte pattern.
+    /// for damaged sealed artefacts (including broken chain links),
+    /// [`StoreError::Decode`] when a frame is intact at the store layer
+    /// but its payload violates the checkpoint/delta/batch codecs — a
+    /// delta that does not apply cleanly to its recovered base lands
+    /// here. Never panics on any byte pattern.
     pub fn open(
         dir: &std::path::Path,
         config: StoreConfig,
     ) -> Result<(CheckpointStore, RecoveredCheckpoint), StoreError> {
         let (store, recovery) = SegmentStore::open(dir, config)?;
-        let checkpoint = match recovery.snapshot {
+        let mut head = match recovery.snapshot {
             None => None,
-            Some(bytes) => {
-                let mut ckpt = StreamCheckpoint::from_bytes(&bytes)?;
+            Some(bytes) => Some(StreamCheckpoint::from_bytes(&bytes)?),
+        };
+        for payload in &recovery.deltas {
+            let delta = CheckpointDelta::from_bytes(payload)?;
+            let base = head.ok_or(StoreError::Corrupt(
+                "delta chain recovered without a base snapshot",
+            ))?;
+            head = Some(delta.apply(&base)?);
+        }
+        let checkpoint = match &head {
+            None => None,
+            Some(head) => {
+                let mut ckpt = head.clone();
                 for payload in &recovery.tail {
                     ckpt.append(UpdateBatch::from_bytes(payload)?);
                 }
@@ -645,7 +1082,7 @@ impl CheckpointStore {
             }
         };
         Ok((
-            CheckpointStore { store },
+            CheckpointStore { store, base: head },
             RecoveredCheckpoint {
                 checkpoint,
                 torn_frames_dropped: recovery.torn_frames_dropped,
@@ -653,14 +1090,59 @@ impl CheckpointStore {
         ))
     }
 
-    /// Captures `runner`'s state and makes it the durable recovery root
-    /// (snapshot file + manifest flip + fresh write-ahead segment).
+    /// Captures `runner`'s state and makes it the durable recovery root.
+    ///
+    /// Writes a chained [`CheckpointDelta`] (`O(changed-state)`) when a
+    /// base exists, the chain is below
+    /// [`StoreConfig::max_chain_len`], and the runner's
+    /// history extends the base append-only; otherwise a full snapshot —
+    /// which is also the **rebase**: installing it folds the chain away
+    /// and garbage-collects the stale files. Either way the manifest flip
+    /// is atomic, a fresh write-ahead segment starts, and the runner's
+    /// changed-slot tracking is drained so the next install diffs against
+    /// exactly this state.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`]; on error the previous root stays durable.
-    pub fn install(&mut self, runner: &StreamingRunner) -> Result<(), StoreError> {
-        self.store.install_snapshot(&runner.checkpoint().to_bytes())
+    /// [`StoreError::Io`]; on error the previous root stays durable and
+    /// the changed-slot tracking is left intact (the failed install never
+    /// becomes a diff base).
+    pub fn install(&mut self, runner: &mut StreamingRunner) -> Result<InstallReport, StoreError> {
+        let full = runner.checkpoint();
+        let full_bytes = full.to_bytes();
+        if !self.store.needs_rebase() {
+            if let (Some(base), Some(seq), Some(digest)) = (
+                self.base.as_ref(),
+                self.store.snapshot_seq(),
+                self.store.root_digest(),
+            ) {
+                let changed = runner.partitioner().changed_slots();
+                if let Some(delta) = CheckpointDelta::between(base, &full, &changed, seq, digest) {
+                    let bytes = delta.to_bytes();
+                    // A delta only earns its chain link by being smaller:
+                    // when most of the state churned since the base, the
+                    // per-slot framing makes the delta *larger* than the
+                    // snapshot it stands in for — install full instead,
+                    // which also resets the chain for free.
+                    if bytes.len() < full_bytes.len() {
+                        self.store.install_delta(&bytes)?;
+                        runner.partitioner_mut().clear_changed();
+                        self.base = Some(full);
+                        return Ok(InstallReport {
+                            incremental: true,
+                            bytes: bytes.len(),
+                        });
+                    }
+                }
+            }
+        }
+        self.store.install_snapshot(&full_bytes)?;
+        runner.partitioner_mut().clear_changed();
+        self.base = Some(full);
+        Ok(InstallReport {
+            incremental: false,
+            bytes: full_bytes.len(),
+        })
     }
 
     /// Write-aheads one ingested batch (call with exactly the batches the

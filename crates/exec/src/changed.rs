@@ -1,0 +1,210 @@
+//! Persistent changed-slot tracking for incremental checkpoints.
+//!
+//! [`ChangedSet`] is the durability-layer sibling of [`ActiveSet`]: the
+//! same dense-bitmap discipline — every mutation path that dirties a slot
+//! marks it — but accumulated *across* iterations instead of being
+//! consumed by the next sweep. A checkpoint writer drains it to learn
+//! exactly which slots changed since the previous checkpoint, which is
+//! what makes delta-encoded snapshots O(changed-state) instead of
+//! O(graph): the encoder never has to diff the full slot space to find
+//! the churn.
+//!
+//! [`ActiveSet`]: crate::ActiveSet
+
+/// A growable bitmap of slots mutated since the last drain.
+///
+/// Marking is idempotent and O(1); [`ChangedSet::drain_sorted`] yields the
+/// marked slots in ascending order and resets the set, which is the
+/// checkpoint boundary. Unlike [`ActiveSet`](crate::ActiveSet) there is no
+/// per-shard bookkeeping: the set is read once per checkpoint, not swept
+/// every iteration.
+#[derive(Debug, Clone, Default)]
+pub struct ChangedSet {
+    words: Vec<u64>,
+    len: usize,
+    marked: usize,
+}
+
+impl ChangedSet {
+    /// An empty set covering `len` slots, nothing marked.
+    pub fn with_len(len: usize) -> Self {
+        ChangedSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            marked: 0,
+        }
+    }
+
+    /// Number of slots covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots currently marked.
+    pub fn num_marked(&self) -> usize {
+        self.marked
+    }
+
+    /// Whether slot `slot` is marked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    pub fn contains(&self, slot: usize) -> bool {
+        assert!(slot < self.len, "slot {slot} out of range {}", self.len);
+        self.words[slot / 64] & (1 << (slot % 64)) != 0
+    }
+
+    /// Marks slot `slot` as changed. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    pub fn mark(&mut self, slot: usize) {
+        assert!(slot < self.len, "slot {slot} out of range {}", self.len);
+        let bit = 1u64 << (slot % 64);
+        let word = &mut self.words[slot / 64];
+        if *word & bit == 0 {
+            *word |= bit;
+            self.marked += 1;
+        }
+    }
+
+    /// Marks every covered slot (the conservative reset used when the
+    /// previous checkpoint base is unknown, e.g. at construction or
+    /// restore).
+    pub fn mark_all(&mut self) {
+        for (i, word) in self.words.iter_mut().enumerate() {
+            let bits = (self.len - i * 64).min(64);
+            *word = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+        self.marked = self.len;
+    }
+
+    /// Grows coverage to at least `len` slots (newly covered slots start
+    /// unmarked; callers mark new slots explicitly). Shrinking is a no-op,
+    /// mirroring the never-reused slot space.
+    pub fn grow_to(&mut self, len: usize) {
+        if len > self.len {
+            self.len = len;
+            self.words.resize(len.div_ceil(64), 0);
+        }
+    }
+
+    /// Returns every marked slot in ascending order without resetting the
+    /// set — for writers that must keep the marks until the checkpoint is
+    /// durably installed (clear with [`ChangedSet::clear`] on success).
+    pub fn collect_sorted(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.marked);
+        for (i, word) in self.words.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                out.push(i * 64 + tz);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Returns every marked slot in ascending order and resets the set —
+    /// the checkpoint boundary.
+    pub fn drain_sorted(&mut self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.marked);
+        for (i, word) in self.words.iter_mut().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                out.push(i * 64 + tz);
+                bits &= bits - 1;
+            }
+            *word = 0;
+        }
+        self.marked = 0;
+        out
+    }
+
+    /// Clears every mark without reporting them (used when the current
+    /// state *becomes* the new base, e.g. right after a full-snapshot
+    /// install or a restore).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.marked = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_drain_resets() {
+        let mut set = ChangedSet::with_len(130);
+        set.mark(0);
+        set.mark(129);
+        set.mark(64);
+        set.mark(64); // idempotent
+        assert_eq!(set.num_marked(), 3);
+        assert!(set.contains(64));
+        assert!(!set.contains(1));
+        // A non-draining read leaves the marks in place.
+        assert_eq!(set.collect_sorted(), vec![0, 64, 129]);
+        assert_eq!(set.num_marked(), 3);
+        assert_eq!(set.drain_sorted(), vec![0, 64, 129]);
+        assert_eq!(set.num_marked(), 0);
+        assert_eq!(set.drain_sorted(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn mark_all_covers_exactly_len() {
+        let mut set = ChangedSet::with_len(67);
+        set.mark_all();
+        assert_eq!(set.num_marked(), 67);
+        let drained = set.drain_sorted();
+        assert_eq!(drained, (0..67).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grow_keeps_marks_and_extends_range() {
+        let mut set = ChangedSet::with_len(10);
+        set.mark(3);
+        set.grow_to(200);
+        assert_eq!(set.len(), 200);
+        assert!(set.contains(3));
+        assert!(!set.contains(199));
+        set.mark(199);
+        assert_eq!(set.drain_sorted(), vec![3, 199]);
+        // Shrinking is a no-op.
+        set.grow_to(5);
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn clear_discards_marks() {
+        let mut set = ChangedSet::with_len(100);
+        set.mark_all();
+        set.clear();
+        assert_eq!(set.num_marked(), 0);
+        assert_eq!(set.drain_sorted(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_set_is_harmless() {
+        let mut set = ChangedSet::with_len(0);
+        assert!(set.is_empty());
+        set.mark_all();
+        assert_eq!(set.drain_sorted(), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_mark_panics() {
+        let mut set = ChangedSet::with_len(4);
+        set.mark(4);
+    }
+}

@@ -183,6 +183,35 @@ impl DynGraph {
         self.adj.compact();
     }
 
+    /// Rewrites the slots a validated [`GraphDiff`](crate::GraphDiff)
+    /// names and installs the pre-checked bookkeeping totals. Infallible
+    /// by contract: callers run `GraphDiff::validate_against` first, so
+    /// every list is sorted, symmetric in the final state, and consistent
+    /// with `new_live`/`new_edges`.
+    pub(crate) fn apply_validated_diff(
+        &mut self,
+        new_slots: usize,
+        changed: &[crate::diff::ResolvedSlot],
+        new_live: usize,
+        new_edges: usize,
+    ) {
+        while self.adj.num_slots() < new_slots {
+            self.adj.push_slot();
+            self.alive.push(false);
+        }
+        for entry in changed {
+            self.adj.clear_slot(entry.slot);
+            for &w in &entry.neighbors {
+                let inserted = self.adj.insert_sorted(entry.slot, w);
+                debug_assert!(inserted, "validated diff re-inserted a neighbour");
+            }
+            self.alive[entry.slot] = entry.alive;
+        }
+        self.num_live = new_live;
+        self.num_edges = new_edges;
+        self.adj.maybe_compact();
+    }
+
     /// Freezes the current live subgraph into a [`CsrGraph`].
     ///
     /// Tombstoned ids are preserved as isolated vertices so that ids remain

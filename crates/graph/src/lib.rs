@@ -13,6 +13,9 @@
 //!   grouped into [`UpdateBatch`]es with deterministic application and a
 //!   replayable [`DeltaLog`]; every mutation producer in the workspace
 //!   speaks this vocabulary.
+//! * [`diff`] — structural diffs between two [`DynGraph`] states
+//!   ([`GraphDiff`]), the graph slice of incremental checkpoints:
+//!   O(changed) to compute, validated before application.
 //! * [`gen`] — synthetic generators: 3-D finite-element meshes, 2-D
 //!   triangulated meshes, Holme–Kim power-law-cluster graphs, preferential
 //!   attachment, Erdős–Rényi, and the forest-fire expansion model the paper
@@ -38,6 +41,7 @@ pub mod algo;
 pub mod csr;
 pub mod datasets;
 pub mod delta;
+pub mod diff;
 pub mod dynamic;
 pub mod gen;
 pub mod io;
@@ -47,5 +51,6 @@ pub mod types;
 pub use adj_pool::AdjPool;
 pub use csr::CsrGraph;
 pub use delta::{ApplyReport, DeltaLog, GraphDelta, UpdateBatch};
+pub use diff::{GraphDiff, SlotDiff};
 pub use dynamic::DynGraph;
 pub use types::{EdgeList, Graph, VertexId};

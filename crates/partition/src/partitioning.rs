@@ -299,6 +299,47 @@ impl apg_persist::Encode for Partitioning {
     }
 }
 
+impl Partitioning {
+    /// Builds a partitioning from raw labels and *live* sizes, running the
+    /// same structural validation as the binary decoder — the constructor
+    /// for callers reconstituting state from untrusted bytes (the decoder
+    /// itself, and the incremental-checkpoint apply path in `apg-core`).
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated invariant: `k == 0`, a size
+    /// table whose length differs from `k`, a label out of range, or a
+    /// live size exceeding the number of slots labelled with the
+    /// partition (tombstones shrink live sizes, never grow them).
+    pub fn from_labels_and_live_sizes(
+        assignment: Vec<PartitionId>,
+        sizes: Vec<usize>,
+    ) -> Result<Self, &'static str> {
+        let k = sizes.len();
+        if k == 0 {
+            return Err("partitioning has k == 0");
+        }
+        if k > PartitionId::MAX as usize {
+            return Err("size table length exceeds the partition-id range");
+        }
+        let mut label_counts = vec![0usize; k];
+        for &p in &assignment {
+            if p as usize >= k {
+                return Err("assignment entry out of range");
+            }
+            label_counts[p as usize] += 1;
+        }
+        // Live sizes can only be what the labels admit (tombstones shrink
+        // them, never grow them).
+        for (&size, &labelled) in sizes.iter().zip(&label_counts) {
+            if size > labelled {
+                return Err("live size exceeds the slots labelled with the partition");
+            }
+        }
+        Ok(Partitioning { assignment, sizes })
+    }
+}
+
 impl apg_persist::Decode for Partitioning {
     fn decode(dec: &mut apg_persist::Decoder<'_>) -> Result<Self, apg_persist::DecodeError> {
         use apg_persist::DecodeError;
@@ -311,23 +352,7 @@ impl apg_persist::Decode for Partitioning {
         if sizes.len() != k as usize {
             return Err(DecodeError::Corrupt("size table length differs from k"));
         }
-        let mut label_counts = vec![0usize; k as usize];
-        for &p in &assignment {
-            if p >= k {
-                return Err(DecodeError::Corrupt("assignment entry out of range"));
-            }
-            label_counts[p as usize] += 1;
-        }
-        // Live sizes can only be what the labels admit (tombstones shrink
-        // them, never grow them).
-        for (&size, &labelled) in sizes.iter().zip(&label_counts) {
-            if size > labelled {
-                return Err(DecodeError::Corrupt(
-                    "live size exceeds the slots labelled with the partition",
-                ));
-            }
-        }
-        Ok(Partitioning { assignment, sizes })
+        Partitioning::from_labels_and_live_sizes(assignment, sizes).map_err(DecodeError::Corrupt)
     }
 }
 

@@ -479,7 +479,14 @@ pub mod format {
     /// and `timeline_digest` (an FNV-1a fold over the evicted prefix)
     /// instead of the full history, making snapshot size O(window) rather
     /// than O(stream).
-    pub const VERSION: u16 = 3;
+    ///
+    /// v4: incremental delta checkpoints. A new framed container
+    /// ([`MAGIC_DELTA`]) encodes a checkpoint against a referenced base
+    /// snapshot `(seq, digest)`: changed adjacency spans, vertex births
+    /// and tombstones, per-vertex label records, bookkeeping deltas and
+    /// the timeline-window suffix. The store grows digest-chained
+    /// `dsnap-<seq>.bin` files alongside full snapshots.
+    pub const VERSION: u16 = 4;
 
     /// Magic for a [`DynGraph`](../../apg_graph/struct.DynGraph.html)
     /// snapshot.
@@ -488,6 +495,9 @@ pub mod format {
     pub const MAGIC_LOG: [u8; 4] = *b"APGL";
     /// Magic for a streaming-runner checkpoint (snapshot + log tail).
     pub const MAGIC_CHECKPOINT: [u8; 4] = *b"APGC";
+    /// Magic for an incremental delta checkpoint (encoded against a base
+    /// snapshot referenced by `(seq, digest)`).
+    pub const MAGIC_DELTA: [u8; 4] = *b"APGD";
 
     /// Writes `magic`, [`VERSION`] and the encoded `value`.
     pub fn encode_framed<T: Encode>(magic: [u8; 4], value: &T) -> Vec<u8> {

@@ -9,13 +9,24 @@
 //! * **snapshot files** (`snap-<seq>.bin`) — one frame holding the full
 //!   durable state at a boundary, written by
 //!   [`SegmentStore::install_snapshot`];
+//! * **delta snapshots** (`dsnap-<seq>.bin`) — one frame holding an
+//!   incremental encoding against a base root, written by
+//!   [`SegmentStore::install_delta`]: the frame payload starts with a
+//!   16-byte back-link (`base seq: u64 LE ++ base digest: u64 LE`,
+//!   FNV-1a over the base's frame payload) followed by the caller's
+//!   bytes, so recovery can walk — and digest-validate — the chain down
+//!   to its full snapshot;
 //! * **log segments** (`seg-<seq>.bin`) — append-only frame sequences,
 //!   one frame per [`SegmentStore::append`], rotated to a fresh file once
 //!   [`StoreConfig::segment_rotate_bytes`] is exceeded.
 //!
-//! Both share one monotonically increasing sequence counter, so "the log
-//! tail after snapshot `S`" is simply *every segment with `seq > S`*, in
-//! sequence order. A `MANIFEST` file names the durable snapshot.
+//! All share one monotonically increasing sequence counter, so "the log
+//! tail after root `S`" is simply *every segment with `seq > S`*, in
+//! sequence order. A `MANIFEST` file names the durable recovery root
+//! (full or delta snapshot). Chains are bounded by
+//! [`StoreConfig::max_chain_len`]: once [`SegmentStore::needs_rebase`]
+//! turns true the caller folds the chain into a fresh full snapshot,
+//! whose install garbage-collects the stale links.
 //!
 //! # On-disk framing
 //!
@@ -114,8 +125,26 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// FNV-1a 64-bit hash — the content digest each delta-snapshot link
+/// records for its base, validated link by link during recovery. Cheap
+/// enough to compute inline on the write path (one pass over the payload
+/// being written anyway) and independent of the per-frame CRC, so a chain
+/// link catches a *wrong file* (e.g. a stale same-sequence artefact) even
+/// when that file is internally self-consistent.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
 /// Magic for a store snapshot file (`snap-<seq>.bin`).
 pub const MAGIC_STORE_SNAPSHOT: [u8; 4] = *b"APGN";
+/// Magic for a store delta-snapshot file (`dsnap-<seq>.bin`), chained to a
+/// base snapshot by `(seq, digest)`.
+pub const MAGIC_STORE_DELTA: [u8; 4] = *b"APGI";
 /// Magic for a store log segment (`seg-<seq>.bin`).
 pub const MAGIC_STORE_SEGMENT: [u8; 4] = *b"APGT";
 /// Magic for the store manifest.
@@ -185,6 +214,13 @@ pub struct StoreConfig {
     /// acknowledged appends) in exchange for write speed — the persist
     /// bench prices exactly this knob.
     pub fsync: bool,
+    /// Rebase policy for delta-snapshot chains: once
+    /// [`SegmentStore::chain_len`] reaches this many links,
+    /// [`SegmentStore::needs_rebase`] turns true and the caller is expected
+    /// to fold the chain into a fresh full [`SegmentStore::install_snapshot`]
+    /// (which garbage-collects the chain). Bounds both recovery replay work
+    /// and the disk the chain pins.
+    pub max_chain_len: usize,
 }
 
 impl Default for StoreConfig {
@@ -192,6 +228,7 @@ impl Default for StoreConfig {
         StoreConfig {
             segment_rotate_bytes: 1 << 20,
             fsync: true,
+            max_chain_len: 8,
         }
     }
 }
@@ -199,10 +236,13 @@ impl Default for StoreConfig {
 /// What [`SegmentStore::open`] found on disk.
 #[derive(Debug, Clone, Default)]
 pub struct Recovery {
-    /// The durable snapshot payload the manifest pointed at (`None` for a
-    /// fresh store).
+    /// The durable base snapshot payload the recovery root chains down to
+    /// (`None` for a fresh store).
     pub snapshot: Option<Vec<u8>>,
-    /// Every frame appended after that snapshot, in append order.
+    /// Delta-snapshot payloads chained above the base, oldest first: the
+    /// recovery root is `snapshot` with each delta applied in order.
+    pub deltas: Vec<Vec<u8>>,
+    /// Every frame appended after the recovery root, in append order.
     pub tail: Vec<Vec<u8>>,
     /// Frames dropped from the *last* segment because a crash tore them
     /// (truncation repair). Always 0 on a clean shutdown.
@@ -215,15 +255,25 @@ pub struct Recovery {
 pub struct SegmentStore {
     dir: PathBuf,
     config: StoreConfig,
-    /// Next unused sequence number (snapshots and segments share it).
+    /// Next unused sequence number (snapshots, delta snapshots and
+    /// segments share it).
     next_seq: u64,
-    /// Sequence of the durable (manifest-named) snapshot, if any.
+    /// Sequence of the durable (manifest-named) recovery root — a full
+    /// snapshot, or the newest delta snapshot in the chain.
     snapshot_seq: Option<u64>,
+    /// Sequence of the full snapshot anchoring the delta chain (equals
+    /// `snapshot_seq` when the root is a full snapshot).
+    chain_base_seq: Option<u64>,
+    /// Delta-snapshot sequences above the base, oldest first.
+    chain: Vec<u64>,
+    /// FNV-1a digest of the recovery root's frame payload — what the next
+    /// delta install records as its back-link.
+    root_digest: Option<u64>,
     /// The active segment: `(seq, handle, payload bytes appended)`.
     active: Option<(u64, File, u64)>,
     /// Frames appended to the tail since the last snapshot — the next
-    /// frame's sequence number (reset by [`SegmentStore::install_snapshot`],
-    /// rebuilt by recovery).
+    /// frame's sequence number (reset by every install, rebuilt by
+    /// recovery).
     next_frame_seq: u64,
 }
 
@@ -344,15 +394,13 @@ impl SegmentStore {
         fs::create_dir_all(dir).map_err(io_err("create dir", dir))?;
 
         // Inventory the directory.
-        let mut snap_seqs = Vec::new();
         let mut seg_seqs = Vec::new();
         let mut max_seq = 0u64;
         for entry in fs::read_dir(dir).map_err(io_err("read dir", dir))? {
             let entry = entry.map_err(io_err("read dir entry", dir))?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
-            if let Some(seq) = parse_seq(name, "snap-") {
-                snap_seqs.push(seq);
+            if let Some(seq) = parse_seq(name, "snap-").or_else(|| parse_seq(name, "dsnap-")) {
                 max_seq = max_seq.max(seq);
             } else if let Some(seq) = parse_seq(name, "seg-") {
                 seg_seqs.push(seq);
@@ -372,6 +420,9 @@ impl SegmentStore {
                 config,
                 next_seq: max_seq + 1,
                 snapshot_seq: None,
+                chain_base_seq: None,
+                chain: Vec::new(),
+                root_digest: None,
                 active: None,
                 next_frame_seq: 0,
             };
@@ -379,7 +430,8 @@ impl SegmentStore {
             return Ok((store, Recovery::default()));
         }
 
-        // Manifest → durable snapshot seq.
+        // Manifest → durable recovery-root seq (a full snapshot or the
+        // newest link of a delta chain).
         let manifest_bytes =
             fs::read(&manifest_path).map_err(io_err("read manifest", &manifest_path))?;
         let body = check_header(&manifest_bytes, MAGIC_STORE_MANIFEST)?;
@@ -390,14 +442,78 @@ impl SegmentStore {
             _ => return Err(StoreError::Corrupt("manifest frame is damaged")),
         };
 
-        // Snapshot file: exactly one intact frame.
-        let snap_path = dir.join(format!("snap-{snapshot_seq}.bin"));
-        let snap_bytes = fs::read(&snap_path).map_err(io_err("read snapshot", &snap_path))?;
-        let body = check_header(&snap_bytes, MAGIC_STORE_SNAPSHOT)?;
-        let snapshot = match next_frame(body) {
-            FrameStep::Ok(0, payload, []) => payload.to_vec(),
-            _ => return Err(StoreError::Corrupt("snapshot frame is damaged")),
+        // Walk the chain from the root down to its full-snapshot base,
+        // validating every link: each delta snapshot records the `(seq,
+        // digest)` of its base, and the digest must match what is actually
+        // on disk — a broken or missing link is acknowledged-durable data
+        // gone, hence fatal and typed.
+        let mut deltas_rev: Vec<Vec<u8>> = Vec::new();
+        let mut chain_rev: Vec<u64> = Vec::new();
+        let mut cursor = snapshot_seq;
+        let mut expected_digest: Option<u64> = None;
+        let mut root_digest = 0u64;
+        let (snapshot, chain_base_seq) = loop {
+            let snap_path = dir.join(format!("snap-{cursor}.bin"));
+            if snap_path.exists() {
+                let snap_bytes =
+                    fs::read(&snap_path).map_err(io_err("read snapshot", &snap_path))?;
+                let body = check_header(&snap_bytes, MAGIC_STORE_SNAPSHOT)?;
+                let payload = match next_frame(body) {
+                    FrameStep::Ok(0, payload, []) => payload.to_vec(),
+                    _ => return Err(StoreError::Corrupt("snapshot frame is damaged")),
+                };
+                let digest = fnv1a64(&payload);
+                if expected_digest.is_some_and(|want| want != digest) {
+                    return Err(StoreError::Corrupt(
+                        "delta chain base digest does not match the snapshot on disk",
+                    ));
+                }
+                if expected_digest.is_none() {
+                    root_digest = digest;
+                }
+                break (payload, cursor);
+            }
+            let dsnap_path = dir.join(format!("dsnap-{cursor}.bin"));
+            if !dsnap_path.exists() {
+                return Err(StoreError::Corrupt(
+                    "delta chain link is missing from the store directory",
+                ));
+            }
+            let dsnap_bytes =
+                fs::read(&dsnap_path).map_err(io_err("read delta snapshot", &dsnap_path))?;
+            let body = check_header(&dsnap_bytes, MAGIC_STORE_DELTA)?;
+            let frame_payload = match next_frame(body) {
+                FrameStep::Ok(0, payload, []) => payload,
+                _ => return Err(StoreError::Corrupt("delta snapshot frame is damaged")),
+            };
+            if frame_payload.len() < 16 {
+                return Err(StoreError::Corrupt(
+                    "delta snapshot is too short to hold its base link",
+                ));
+            }
+            let digest = fnv1a64(frame_payload);
+            if expected_digest.is_some_and(|want| want != digest) {
+                return Err(StoreError::Corrupt(
+                    "delta chain link digest does not match the file on disk",
+                ));
+            }
+            if expected_digest.is_none() {
+                root_digest = digest;
+            }
+            let base_seq = u64::from_le_bytes(frame_payload[..8].try_into().expect("8 bytes"));
+            let base_digest = u64::from_le_bytes(frame_payload[8..16].try_into().expect("8 bytes"));
+            if base_seq >= cursor {
+                return Err(StoreError::Corrupt("delta chain does not descend"));
+            }
+            deltas_rev.push(frame_payload[16..].to_vec());
+            chain_rev.push(cursor);
+            expected_digest = Some(base_digest);
+            cursor = base_seq;
         };
+        deltas_rev.reverse();
+        chain_rev.reverse();
+        let deltas = deltas_rev;
+        let chain = chain_rev;
 
         // Live segments: everything after the snapshot, in order. Torn
         // frames are only legal at the very tail of the very last one.
@@ -478,6 +594,9 @@ impl SegmentStore {
             config,
             next_seq: max_seq.max(snapshot_seq) + 1,
             snapshot_seq: Some(snapshot_seq),
+            chain_base_seq: Some(chain_base_seq),
+            chain,
+            root_digest: Some(root_digest),
             active: None,
             next_frame_seq: expected_frame_seq,
         };
@@ -496,6 +615,7 @@ impl SegmentStore {
         }
         let recovery = Recovery {
             snapshot: Some(snapshot),
+            deltas,
             tail,
             torn_frames_dropped,
         };
@@ -620,26 +740,122 @@ impl SegmentStore {
         fs::rename(&tmp, &manifest).map_err(io_err("rename manifest", &manifest))?;
         self.sync_dir()?;
         self.snapshot_seq = Some(seq);
+        // A full snapshot folds (rebases) any delta chain: it is now the
+        // whole recovery root.
+        self.chain_base_seq = Some(seq);
+        self.chain.clear();
+        self.root_digest = Some(fnv1a64(payload));
         // The tail restarts at this snapshot: frame numbering resets only
         // now — a *failed* install keeps the old root, whose tail (which
         // the already-created fresh segment is part of) must keep counting.
         self.next_frame_seq = 0;
 
-        // 5. Garbage: everything strictly below the new snapshot is
-        // unreachable from the manifest. Deletion failures are ignored —
-        // stale files are filtered by sequence on recovery anyway.
+        // 5. Garbage: everything strictly below the new snapshot —
+        // including the entire superseded delta chain — is unreachable
+        // from the manifest. Deletion failures are ignored — stale files
+        // are filtered by sequence on recovery anyway.
+        self.collect_garbage(seq, seq);
+        Ok(())
+    }
+
+    /// Makes `payload` the durable recovery root as a *delta snapshot*
+    /// chained onto the current root: writes `dsnap-<seq>.bin` carrying
+    /// the `(seq, digest)` back-link, starts a fresh log segment, flips
+    /// the manifest pointer atomically, then deletes stale artefacts
+    /// (best-effort). Fsync ordering is identical to
+    /// [`SegmentStore::install_snapshot`]; recovery replays the base
+    /// snapshot plus every chained delta in order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if no recovery root exists yet (the first
+    /// install must be a full snapshot); [`StoreError::Io`] on filesystem
+    /// failures. On error the manifest still names the previous root.
+    pub fn install_delta(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let (Some(base_seq), Some(base_digest)) = (self.snapshot_seq, self.root_digest) else {
+            return Err(StoreError::Corrupt(
+                "delta install requires an existing snapshot root",
+            ));
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        // 1. Delta-snapshot file: one frame whose payload is the 16-byte
+        // base link followed by the caller's bytes, fsynced before
+        // anything points at it.
+        let dsnap_path = self.dir.join(format!("dsnap-{seq}.bin"));
+        let mut frame_payload = Vec::with_capacity(16 + payload.len());
+        frame_payload.extend_from_slice(&base_seq.to_le_bytes());
+        frame_payload.extend_from_slice(&base_digest.to_le_bytes());
+        frame_payload.extend_from_slice(payload);
+        let mut bytes = Vec::with_capacity(6 + 16 + frame_payload.len());
+        write_header(&mut bytes, MAGIC_STORE_DELTA);
+        bytes.extend_from_slice(&frame(0, &frame_payload));
+        let mut file =
+            File::create(&dsnap_path).map_err(io_err("create delta snapshot", &dsnap_path))?;
+        file.write_all(&bytes)
+            .map_err(io_err("write delta snapshot", &dsnap_path))?;
+        file.sync_all()
+            .map_err(io_err("fsync delta snapshot", &dsnap_path))?;
+
+        // 2+3. Fresh tail segment for appends after this root, then make
+        // both names durable.
+        let old_active = self.active.take();
+        self.open_fresh_segment()?;
+        if let Some((old_seq, old_file, _)) = old_active {
+            let old_path = self.segment_path(old_seq);
+            old_file
+                .sync_all()
+                .map_err(io_err("fsync sealed segment", &old_path))?;
+        }
+        self.sync_dir()?;
+
+        // 4. The pointer flip: tmp + fsync + atomic rename + dir fsync.
+        let manifest = self.dir.join("MANIFEST");
+        let tmp = self.dir.join("MANIFEST.tmp");
+        let mut bytes = Vec::with_capacity(6 + 16 + 8);
+        write_header(&mut bytes, MAGIC_STORE_MANIFEST);
+        bytes.extend_from_slice(&frame(0, &seq.to_le_bytes()));
+        let mut file = File::create(&tmp).map_err(io_err("create manifest tmp", &tmp))?;
+        file.write_all(&bytes)
+            .map_err(io_err("write manifest tmp", &tmp))?;
+        file.sync_all()
+            .map_err(io_err("fsync manifest tmp", &tmp))?;
+        drop(file);
+        fs::rename(&tmp, &manifest).map_err(io_err("rename manifest", &manifest))?;
+        self.sync_dir()?;
+        self.snapshot_seq = Some(seq);
+        self.chain.push(seq);
+        self.root_digest = Some(fnv1a64(&frame_payload));
+        self.next_frame_seq = 0;
+
+        // 5. Garbage: segments below the new root are folded into it, but
+        // the chain's snapshots (base and intermediate links) must stay.
+        let base_floor = self.chain_base_seq.unwrap_or(seq);
+        self.collect_garbage(base_floor, seq);
+        Ok(())
+    }
+
+    /// Best-effort deletion of artefacts unreachable from the manifest:
+    /// snapshots and delta snapshots below `snap_floor`, segments below
+    /// `seg_floor`. Orphaned delta snapshots *between* the floors (from
+    /// interrupted installs) are harmless — recovery only follows explicit
+    /// chain links — and are swept by the next full-snapshot install.
+    fn collect_garbage(&self, snap_floor: u64, seg_floor: u64) {
         if let Ok(entries) = fs::read_dir(&self.dir) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
                 let Some(name) = name.to_str() else { continue };
-                let stale = parse_seq(name, "snap-").is_some_and(|s| s < seq)
-                    || parse_seq(name, "seg-").is_some_and(|s| s < seq);
+                let stale = parse_seq(name, "snap-").is_some_and(|s| s < snap_floor)
+                    || parse_seq(name, "dsnap-").is_some_and(|s| {
+                        s < snap_floor || (s < seg_floor && !self.chain.contains(&s))
+                    })
+                    || parse_seq(name, "seg-").is_some_and(|s| s < seg_floor);
                 if stale {
                     let _ = fs::remove_file(entry.path());
                 }
             }
         }
-        Ok(())
     }
 
     /// The directory this store lives in.
@@ -647,9 +863,34 @@ impl SegmentStore {
         &self.dir
     }
 
-    /// Sequence of the durable (manifest-named) snapshot, if one exists.
+    /// Sequence of the durable (manifest-named) recovery root, if one
+    /// exists — a full snapshot, or the newest link of a delta chain.
     pub fn snapshot_seq(&self) -> Option<u64> {
         self.snapshot_seq
+    }
+
+    /// Sequence of the full snapshot anchoring the current delta chain
+    /// (equals [`SegmentStore::snapshot_seq`] when the chain is empty).
+    pub fn chain_base_seq(&self) -> Option<u64> {
+        self.chain_base_seq
+    }
+
+    /// Number of delta snapshots chained above the base full snapshot.
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Whether the delta chain has reached [`StoreConfig::max_chain_len`]
+    /// — the caller should fold it with a full
+    /// [`SegmentStore::install_snapshot`] instead of chaining further.
+    pub fn needs_rebase(&self) -> bool {
+        self.chain.len() >= self.config.max_chain_len
+    }
+
+    /// FNV-1a digest of the current recovery root's frame payload — the
+    /// back-link the next [`SegmentStore::install_delta`] will record.
+    pub fn root_digest(&self) -> Option<u64> {
+        self.root_digest
     }
 
     /// Sequence of the segment currently receiving appends.
@@ -657,21 +898,23 @@ impl SegmentStore {
         self.active.as_ref().map(|(seq, _, _)| *seq)
     }
 
-    /// Total bytes currently on disk for the live artefacts (durable
-    /// snapshot + segments above it) — what a follower would have to copy
-    /// to bootstrap.
+    /// Total bytes currently on disk for the live artefacts (base
+    /// snapshot, delta chain, and segments above the recovery root) —
+    /// what a follower would have to copy to bootstrap.
     pub fn live_bytes(&self) -> u64 {
         let mut total = 0;
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return 0;
         };
-        let floor = self.snapshot_seq.unwrap_or(0);
+        let snap_floor = self.chain_base_seq.unwrap_or(0);
+        let seg_floor = self.snapshot_seq.unwrap_or(0);
         for entry in entries.flatten() {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             let live = name == "MANIFEST"
-                || parse_seq(name, "snap-").is_some_and(|s| s >= floor)
-                || parse_seq(name, "seg-").is_some_and(|s| s >= floor);
+                || parse_seq(name, "snap-").is_some_and(|s| s >= snap_floor)
+                || parse_seq(name, "dsnap-").is_some_and(|s| s >= snap_floor)
+                || parse_seq(name, "seg-").is_some_and(|s| s >= seg_floor);
             if live {
                 if let Ok(meta) = entry.metadata() {
                     total += meta.len();
@@ -765,6 +1008,7 @@ mod tests {
         let config = StoreConfig {
             segment_rotate_bytes: 32,
             fsync: false,
+            ..StoreConfig::default()
         };
         let (mut store, _) = SegmentStore::open(&scratch.0, config.clone()).unwrap();
         store.install_snapshot(b"s").unwrap();
@@ -810,6 +1054,7 @@ mod tests {
         let config = StoreConfig {
             segment_rotate_bytes: 8,
             fsync: false,
+            ..StoreConfig::default()
         };
         let (mut store, _) = SegmentStore::open(&scratch.0, config.clone()).unwrap();
         store.install_snapshot(b"s").unwrap();
@@ -838,6 +1083,7 @@ mod tests {
         let config = StoreConfig {
             segment_rotate_bytes: 1,
             fsync: false,
+            ..StoreConfig::default()
         };
         let (mut store, _) = SegmentStore::open(&scratch.0, config.clone()).unwrap();
         store.install_snapshot(b"s").unwrap();
@@ -915,6 +1161,139 @@ mod tests {
         assert_eq!(rec.tail, vec![b"tail-frame".to_vec()]);
         // And the writer will never reuse the orphan's sequence number.
         assert!(store.next_seq > 99);
+    }
+
+    #[test]
+    fn delta_chain_round_trips() {
+        let scratch = Scratch::new("delta-chain");
+        let (mut store, _) = SegmentStore::open(&scratch.0, no_sync()).unwrap();
+        // The first install must anchor the chain.
+        assert!(matches!(
+            store.install_delta(b"too-early"),
+            Err(StoreError::Corrupt(_))
+        ));
+        store.install_snapshot(b"base").unwrap();
+        store.append(b"tail-a").unwrap();
+        store.install_delta(b"delta-one").unwrap();
+        store.install_delta(b"delta-two").unwrap();
+        store.append(b"tail-b").unwrap();
+        assert_eq!(store.chain_len(), 2);
+        drop(store);
+
+        let (store, rec) = SegmentStore::open(&scratch.0, no_sync()).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"base"[..]));
+        assert_eq!(
+            rec.deltas,
+            vec![b"delta-one".to_vec(), b"delta-two".to_vec()]
+        );
+        // tail-a predates delta-one's root and was folded into it.
+        assert_eq!(rec.tail, vec![b"tail-b".to_vec()]);
+        assert_eq!(store.chain_len(), 2);
+        assert!(store.chain_base_seq().unwrap() < store.snapshot_seq().unwrap());
+    }
+
+    #[test]
+    fn full_snapshot_rebases_and_collects_the_chain() {
+        let scratch = Scratch::new("rebase");
+        let config = StoreConfig {
+            fsync: false,
+            max_chain_len: 2,
+            ..StoreConfig::default()
+        };
+        let (mut store, _) = SegmentStore::open(&scratch.0, config.clone()).unwrap();
+        store.install_snapshot(b"base").unwrap();
+        assert!(!store.needs_rebase());
+        store.install_delta(b"d1").unwrap();
+        assert!(!store.needs_rebase());
+        store.install_delta(b"d2").unwrap();
+        assert!(store.needs_rebase(), "max_chain_len reached");
+        store.install_snapshot(b"rebased").unwrap();
+        assert_eq!(store.chain_len(), 0);
+        assert!(!store.needs_rebase());
+        assert_eq!(store.chain_base_seq(), store.snapshot_seq());
+        // The superseded chain (and its base) are garbage-collected.
+        for entry in fs::read_dir(&scratch.0).unwrap().flatten() {
+            let name = entry.file_name().to_str().unwrap().to_string();
+            assert!(
+                !name.starts_with("dsnap-"),
+                "stale chain link {name} survived the rebase"
+            );
+        }
+        drop(store);
+        let (_, rec) = SegmentStore::open(&scratch.0, config).unwrap();
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"rebased"[..]));
+        assert!(rec.deltas.is_empty());
+    }
+
+    #[test]
+    fn broken_chain_links_are_typed_errors() {
+        let build = |tag: &str| -> (Scratch, PathBuf) {
+            let scratch = Scratch::new(tag);
+            let (mut store, _) = SegmentStore::open(&scratch.0, no_sync()).unwrap();
+            store.install_snapshot(b"base").unwrap();
+            store.install_delta(b"delta-mid").unwrap();
+            let mid = scratch
+                .0
+                .join(format!("dsnap-{}.bin", store.snapshot_seq().unwrap()));
+            store.install_delta(b"delta-top").unwrap();
+            (scratch, mid)
+        };
+
+        // Bit flip inside a mid-chain link: its digest no longer matches
+        // what the child recorded.
+        let (scratch, mid) = build("chain-flip");
+        let mut bytes = fs::read(&mid).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs::write(&mid, &bytes).unwrap();
+        assert!(matches!(
+            SegmentStore::open(&scratch.0, no_sync()),
+            Err(StoreError::Corrupt(_))
+        ));
+
+        // Missing mid-chain link.
+        let (scratch, mid) = build("chain-missing");
+        fs::remove_file(&mid).unwrap();
+        assert!(matches!(
+            SegmentStore::open(&scratch.0, no_sync()),
+            Err(StoreError::Corrupt(
+                "delta chain link is missing from the store directory"
+            ))
+        ));
+
+        // A stale *different* file at the linked sequence: internally
+        // valid, but the digest in the child link exposes it.
+        let (scratch, mid) = build("chain-swap");
+        let mut forged = Vec::new();
+        write_header(&mut forged, MAGIC_STORE_DELTA);
+        let mut fp = Vec::new();
+        fp.extend_from_slice(&0u64.to_le_bytes());
+        fp.extend_from_slice(&0u64.to_le_bytes());
+        fp.extend_from_slice(b"forged-payload");
+        forged.extend_from_slice(&frame(0, &fp));
+        fs::write(&mid, &forged).unwrap();
+        assert!(matches!(
+            SegmentStore::open(&scratch.0, no_sync()),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn delta_install_keeps_live_bytes_bounded_by_chain() {
+        let scratch = Scratch::new("delta-live-bytes");
+        let (mut store, _) = SegmentStore::open(&scratch.0, no_sync()).unwrap();
+        store.install_snapshot(&[0u8; 1024]).unwrap();
+        let full = store.live_bytes();
+        for _ in 0..3 {
+            store.install_delta(&[1u8; 32]).unwrap();
+        }
+        let chained = store.live_bytes();
+        assert!(
+            chained < full + 3 * 1024,
+            "live bytes grew like full snapshots: {chained} vs base {full}"
+        );
+        // The chain is still accounted (base + 3 links + manifest + segment).
+        assert!(chained > full);
     }
 
     #[test]

@@ -148,6 +148,18 @@ fn store_config() -> StoreConfig {
     StoreConfig {
         segment_rotate_bytes: 512,
         fsync: true,
+        ..StoreConfig::default()
+    }
+}
+
+/// [`store_config`] with `max_chain_len: 0`: every install rebases, i.e.
+/// writes a full snapshot. The classic install-interruption sweep below
+/// was written around the root-flip commit point and keeps using this;
+/// the delta-chain sweeps further down build their own chained stages.
+fn full_only_config() -> StoreConfig {
+    StoreConfig {
+        max_chain_len: 0,
+        ..store_config()
     }
 }
 
@@ -249,7 +261,7 @@ fn build_stages(stages: &Path) -> (PathBuf, PathBuf, PathBuf) {
     let post2 = stages.join("post-install2");
     let done = stages.join("final");
 
-    let (mut store, rec) = CheckpointStore::open(&live, store_config()).unwrap();
+    let (mut store, rec) = CheckpointStore::open(&live, full_only_config()).unwrap();
     assert!(
         rec.checkpoint.is_none(),
         "fresh directory must recover empty"
@@ -257,14 +269,18 @@ fn build_stages(stages: &Path) -> (PathBuf, PathBuf, PathBuf) {
     let mut r = runner();
     let mut s = cdr();
     assert_eq!(r.drive(&mut s, SNAP_AT), SNAP_AT);
-    store.install(&r).unwrap();
+    store.install(&mut r).unwrap();
     for _ in SNAP_AT..SNAP2_AT {
         let batch = s.next_batch().unwrap();
         r.ingest(&batch);
         store.append(&batch).unwrap();
     }
     copy_dir(&live, &pre2);
-    store.install(&r).unwrap();
+    let report = store.install(&mut r).unwrap();
+    assert!(
+        !report.incremental,
+        "full-only config must never chain a delta"
+    );
     copy_dir(&live, &post2);
     for _ in SNAP2_AT..TOTAL {
         let batch = s.next_batch().unwrap();
@@ -541,6 +557,210 @@ fn valid_frame_with_garbage_payload_is_a_typed_decode_error() {
 }
 
 // ---------------------------------------------------------------------------
+// Delta-chain sweeps: the same crash discipline over chained incremental
+// installs. A light-churn workload (a handful of edge flips per batch on a
+// fixed vertex set) keeps every non-first install genuinely incremental —
+// the store only chains a delta when it beats the full snapshot on size —
+// and keeps the live edge set O(1), which the footprint test below needs.
+
+const CHAIN_VERTICES: usize = 400;
+const CHAIN_TOTAL: usize = 8;
+
+/// The edges batch `i` inserts: six disjoint `(a, a+1)` pairs inside a
+/// block that cycles mod 3 so consecutive batches never touch the same
+/// slots.
+fn chain_edges(i: usize) -> Vec<(u32, u32)> {
+    let block = (i % 3) as u32 * 130;
+    (0..6u32)
+        .map(|k| {
+            let a = block + (i as u32 * 7 + k * 11) % 120;
+            (a, a + 1)
+        })
+        .collect()
+}
+
+/// Batch `i` of the light-churn schedule: insert this batch's block,
+/// remove the block inserted two batches ago (still untouched since —
+/// the blocks are disjoint across any three consecutive batches).
+fn chain_batch(i: usize) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for (u, v) in chain_edges(i) {
+        batch.add_edge(u, v);
+    }
+    if i >= 2 {
+        for (u, v) in chain_edges(i - 2) {
+            batch.remove_edge(u, v);
+        }
+    }
+    batch
+}
+
+fn chain_runner() -> StreamingRunner {
+    let graph = DynGraph::with_vertices(CHAIN_VERTICES);
+    let cfg = AdaptiveConfig::new(4).parallelism(2);
+    StreamingRunner::new(AdaptivePartitioner::with_strategy(
+        &graph,
+        InitialStrategy::Hash,
+        &cfg,
+        SEED,
+    ))
+    .iterations_per_batch(2)
+}
+
+/// The uninterrupted reference over the light-churn schedule.
+fn chain_reference() -> Outcome {
+    let mut r = chain_runner();
+    for i in 0..CHAIN_TOTAL {
+        r.ingest(&chain_batch(i));
+    }
+    outcome_of(&r)
+}
+
+/// Builds a two-link delta chain with durable milestones:
+///
+/// * `pre-top` — root = delta@4 (one link), batches 4.. not yet appended;
+/// * `final`   — root = delta@6 (two links), 2-batch write-ahead tail.
+fn build_chain_stages(stages: &Path) -> (PathBuf, PathBuf) {
+    let live = stages.join("live");
+    let pre_top = stages.join("pre-top");
+    let done = stages.join("final");
+
+    let (mut store, rec) = CheckpointStore::open(&live, store_config()).unwrap();
+    assert!(rec.checkpoint.is_none(), "fresh directory recovers empty");
+    let mut r = chain_runner();
+    let drive = |r: &mut StreamingRunner, store: &mut CheckpointStore, from: usize, to: usize| {
+        for i in from..to {
+            let batch = chain_batch(i);
+            r.ingest(&batch);
+            store.append(&batch).unwrap();
+        }
+    };
+    drive(&mut r, &mut store, 0, 2);
+    let report = store.install(&mut r).unwrap();
+    assert!(!report.incremental, "the first install is the chain base");
+    drive(&mut r, &mut store, 2, 4);
+    let report = store.install(&mut r).unwrap();
+    assert!(report.incremental, "light churn must chain a delta");
+    assert_eq!(store.store().chain_len(), 1);
+    copy_dir(&live, &pre_top);
+    drive(&mut r, &mut store, 4, 6);
+    let report = store.install(&mut r).unwrap();
+    assert!(report.incremental, "light churn must chain a second delta");
+    assert_eq!(store.store().chain_len(), 2);
+    drive(&mut r, &mut store, 6, CHAIN_TOTAL);
+    copy_dir(&live, &done);
+    (pre_top, done)
+}
+
+/// Recovers `dir`, replays the rest of the light-churn schedule, and
+/// returns `(batches recovered, final outcome)`.
+fn recover_chain_and_finish(dir: &Path) -> Result<(usize, Outcome), StoreError> {
+    let (_store, rec) = CheckpointStore::open(dir, store_config())?;
+    let ckpt = rec
+        .checkpoint
+        .ok_or(StoreError::Corrupt("no durable snapshot to recover"))?;
+    let mut r = StreamingRunner::resume(ckpt);
+    let recovered = r.batches_ingested();
+    assert!(recovered <= CHAIN_TOTAL, "recovered past the stream's end");
+    for i in recovered..CHAIN_TOTAL {
+        r.ingest(&chain_batch(i));
+    }
+    Ok((recovered, outcome_of(&r)))
+}
+
+/// Runs `f` under `catch_unwind`, failing with the injection context on
+/// panic.
+fn no_panic<T>(context: &str, f: impl FnOnce() -> T) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("recovery PANICKED under injection [{context}]: {msg}");
+        }
+    }
+}
+
+/// Every single-bit flip and every truncation of every byte of both chain
+/// links: recovery is a typed error or an exact match of the reference —
+/// never a panic, never silent divergence.
+#[test]
+fn chain_link_corruption_is_typed_or_exact_recovery() {
+    let stages = Scratch::new("chain-flip-stages");
+    let (_, done) = build_chain_stages(&stages.0);
+    let reference = chain_reference();
+    let work = Scratch::new("chain-flip-work");
+
+    let links: Vec<String> = file_names(&done)
+        .into_iter()
+        .filter(|n| n.starts_with("dsnap-"))
+        .collect();
+    assert_eq!(links.len(), 2, "stage must hold a two-link chain");
+    let mut typed_errors = 0usize;
+    for name in &links {
+        let pristine = fs::read(done.join(name)).unwrap();
+        for off in 0..pristine.len() {
+            for damage in ["flip", "truncate"] {
+                let bytes = if damage == "flip" {
+                    let mut b = pristine.clone();
+                    b[off] ^= 0x01;
+                    b
+                } else {
+                    pristine[..off].to_vec()
+                };
+                copy_dir(&done, &work.0);
+                fs::write(work.0.join(name), &bytes).unwrap();
+                let context = format!("{damage} {name} at {off}");
+                match no_panic(&context, || recover_chain_and_finish(&work.0)) {
+                    Ok((_, outcome)) => assert_eq!(
+                        outcome, reference,
+                        "[{context}] recovered but diverged — silent corruption"
+                    ),
+                    Err(StoreError::Io { .. }) => {
+                        panic!("[{context}] damage must never surface as I/O errors")
+                    }
+                    Err(_) => typed_errors += 1,
+                }
+            }
+        }
+    }
+    assert!(typed_errors > 0, "no damage errored — sweep proves nothing");
+}
+
+/// The writer dies between writing a new chain link and flipping the
+/// manifest — including every partial write of the link file. The
+/// un-named link is invisible: recovery lands exactly on the previous
+/// root (the last intact chain prefix) and finishing the stream matches
+/// the uninterrupted run.
+#[test]
+fn kill_between_chain_append_and_manifest_flip_recovers_the_prefix() {
+    let stages = Scratch::new("chain-kill-stages");
+    let (pre_top, done) = build_chain_stages(&stages.0);
+    let reference = chain_reference();
+    let work = Scratch::new("chain-kill-work");
+
+    let top = file_names(&done)
+        .into_iter()
+        .filter(|n| n.starts_with("dsnap-"))
+        .rfind(|n| !pre_top.join(n).exists())
+        .expect("the second install wrote a new chain link");
+    let top_bytes = fs::read(done.join(&top)).unwrap();
+
+    for cut in (0..=top_bytes.len()).rev() {
+        copy_dir(&pre_top, &work.0);
+        fs::write(work.0.join(&top), &top_bytes[..cut]).unwrap();
+        let context = format!("chain link written to byte {cut}, manifest not flipped");
+        let (recovered, outcome) = no_panic(&context, || recover_chain_and_finish(&work.0))
+            .unwrap_or_else(|e| panic!("[{context}] the prefix root must recover: {e}"));
+        assert_eq!(recovered, 4, "[{context}] must land on the intact prefix");
+        assert_eq!(outcome, reference, "[{context}] diverged");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The bounded timeline window: resume must reposition the source from the
 // explicit batches_ingested counter, not from the retained suffix length.
 
@@ -635,6 +855,41 @@ fn windowed_checkpoint_size_is_flat_in_stream_length() {
         "windowed checkpoint grew as fast as the unbounded one: \
          {win_short}->{win_long} vs {unb_short}->{unb_long}"
     );
+
+    // The *durable* footprint is O(window + chain), too. Installing on
+    // every batch of the steady-state light-churn schedule (the live edge
+    // set is O(1) by construction) and comparing live bytes at the same
+    // chain phase — `max_chain_len` installs apart, so both sides hold an
+    // equally long chain — tripling the stream must leave live bytes
+    // essentially flat. An O(stream) store would show a 2.5x ratio here;
+    // rebase + GC keep it near 1x, and 2x is the generous failure line.
+    let live_after = |total: usize| -> u64 {
+        let scratch = Scratch::new(&format!("flat-live-{total}"));
+        let (mut store, _) = CheckpointStore::open(&scratch.0, store_config()).unwrap();
+        let mut r = chain_runner().timeline_window(2);
+        let mut incremental = 0usize;
+        for i in 0..total {
+            let batch = chain_batch(i);
+            r.ingest(&batch);
+            store.append(&batch).unwrap();
+            if store.install(&mut r).unwrap().incremental {
+                incremental += 1;
+            }
+            assert!(store.store().chain_len() <= store_config().max_chain_len);
+        }
+        assert!(
+            incremental * 2 > total,
+            "light churn must chain deltas: {incremental}/{total} incremental"
+        );
+        store.store().live_bytes()
+    };
+    let phase = store_config().max_chain_len + 1;
+    let live_short = live_after(12);
+    let live_long = live_after(12 + 2 * phase);
+    assert!(
+        live_long < 2 * live_short,
+        "durable footprint grew with the stream: {live_short} -> {live_long}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -684,7 +939,7 @@ fn assert_total_decode(which: usize, bytes: &[u8], context: &str) -> bool {
     }
 }
 
-const FIXTURES: [&str; 3] = ["graph_v3.apgg", "log_v3.apgl", "checkpoint_v3.apgc"];
+const FIXTURES: [&str; 3] = ["graph_v4.apgg", "log_v4.apgl", "checkpoint_v4.apgc"];
 
 /// Exhaustive single-byte corruption: every offset, three masks, every
 /// fixture, decoded by every decoder (cross-decoding covers the
@@ -780,7 +1035,7 @@ proptest! {
 /// the recovery path.
 #[test]
 fn corruption_errors_are_typed_and_displayable() {
-    let golden = fixture_bytes("checkpoint_v3.apgc");
+    let golden = fixture_bytes("checkpoint_v4.apgc");
     let mut wrong_version = golden.clone();
     wrong_version[4..6].copy_from_slice(&(format::VERSION + 7).to_le_bytes());
     let errors = [

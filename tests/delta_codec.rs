@@ -1,0 +1,271 @@
+//! Property tests of the incremental-checkpoint codec: a delta-encoded
+//! checkpoint applied to its base must reproduce the full snapshot
+//! **byte-identically** — graph, partitioning and runner state — over
+//! arbitrary `UpdateBatch` churn, at every parallelism, through the wire
+//! format, and regardless of adjacency-pool layout (compaction is
+//! observation-free, so it must be diff-free too).
+
+use proptest::prelude::*;
+
+use apg::core::{AdaptiveConfig, AdaptivePartitioner, CheckpointDelta, StreamingRunner};
+use apg::graph::{DynGraph, Graph, GraphDiff, UpdateBatch};
+use apg::partition::InitialStrategy;
+
+/// Turns a fuzzed op-stream into `UpdateBatch`es of at most `chunk`
+/// deltas (same shape as `proptest_invariants`): vertex births, edge
+/// adds/removes, vertex removals, and new-vertex wiring, with ids kept
+/// in a meaningful range.
+fn batches_from_ops(ops: &[(u8, u32, u32)], base_slots: usize, chunk: usize) -> Vec<UpdateBatch> {
+    let mut out = Vec::new();
+    let mut batch = UpdateBatch::new();
+    let mut slots = base_slots;
+    for &(op, a, b) in ops {
+        let range = (slots + batch.num_new_vertices()).max(1) as u32;
+        match op {
+            0 => {
+                batch.add_vertex(vec![a % range]);
+            }
+            1 => batch.add_edge(a % range, b % range),
+            2 => batch.remove_edge(a % range, b % range),
+            3 => batch.remove_vertex(a % range),
+            _ => {
+                let n = batch.num_new_vertices();
+                if n >= 2 {
+                    batch.connect_new(a as usize % n, b as usize % n);
+                }
+            }
+        }
+        if batch.len() >= chunk {
+            slots += batch.num_new_vertices();
+            out.push(std::mem::take(&mut batch));
+        }
+    }
+    if !batch.is_empty() {
+        out.push(batch);
+    }
+    out
+}
+
+/// Drives a fresh runner over `batches`, snapshotting a base checkpoint
+/// after `split` batches (clearing the changed set exactly as a durable
+/// install does) and the current checkpoint at the end. Returns
+/// `(base, current, changed-slots-since-base)`.
+fn base_and_current(
+    batches: &[UpdateBatch],
+    split: usize,
+    parallelism: usize,
+    window: Option<usize>,
+    record: bool,
+    seed: u64,
+) -> (
+    apg::core::StreamCheckpoint,
+    apg::core::StreamCheckpoint,
+    Vec<usize>,
+) {
+    let graph = DynGraph::with_vertices(24);
+    let cfg = AdaptiveConfig::new(3).parallelism(parallelism);
+    let partitioner = AdaptivePartitioner::with_strategy(&graph, InitialStrategy::Hash, &cfg, seed);
+    let mut runner = StreamingRunner::new(partitioner)
+        .iterations_per_batch(2)
+        .record_log(record);
+    if let Some(w) = window {
+        runner = runner.timeline_window(w);
+    }
+    for batch in &batches[..split] {
+        runner.ingest(batch);
+    }
+    let base = runner.checkpoint();
+    runner.partitioner_mut().clear_changed();
+    for batch in &batches[split..] {
+        runner.ingest(batch);
+    }
+    let current = runner.checkpoint();
+    let changed = runner.partitioner().changed_slots();
+    (base, current, changed)
+}
+
+/// The core property: delta-encode → wire round-trip → apply equals the
+/// full snapshot, byte for byte.
+fn assert_delta_equals_full(
+    base: &apg::core::StreamCheckpoint,
+    current: &apg::core::StreamCheckpoint,
+    changed: &[usize],
+) {
+    let delta = CheckpointDelta::between(base, current, changed, 7, 0xfeed)
+        .expect("append-only growth must be delta-encodable");
+    let full_bytes = current.to_bytes();
+    // In-memory apply.
+    let applied = delta.apply(base).expect("delta applies to its base");
+    assert_eq!(
+        applied.to_bytes(),
+        full_bytes,
+        "applied delta diverged from the full snapshot"
+    );
+    // Through the wire format.
+    let decoded = CheckpointDelta::from_bytes(&delta.to_bytes()).expect("delta bytes round-trip");
+    assert_eq!(decoded.base_seq, 7);
+    assert_eq!(decoded.base_digest, 0xfeed);
+    let applied = decoded.apply(base).expect("decoded delta applies");
+    assert_eq!(
+        applied.to_bytes(),
+        full_bytes,
+        "wire-round-tripped delta diverged from the full snapshot"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fuzzed churn, fuzzed split point, bounded and unbounded timeline
+    /// windows, with and without log recording: the delta always
+    /// reproduces the full snapshot byte-identically.
+    #[test]
+    fn delta_equals_full_over_fuzzed_churn(
+        ops in proptest::collection::vec((0u8..5, 0u32..96, 0u32..96), 4..80),
+        split_frac in 0usize..100,
+        window in 0usize..5, // 0 = unbounded
+        record in 0u8..2,
+        seed in 0u64..500,
+    ) {
+        let batches = batches_from_ops(&ops, 24, 6);
+        if batches.is_empty() {
+            return;
+        }
+        let split = 1 + split_frac * (batches.len() - 1) / 100;
+        let window = if window == 0 { None } else { Some(window) };
+        let (base, current, changed) =
+            base_and_current(&batches, split, 1, window, record == 1, seed);
+        assert_delta_equals_full(&base, &current, &changed);
+    }
+
+    /// The same property at parallelism 1, 2 and 8 — the changed-set
+    /// discipline must hold under the sharded apply path too.
+    #[test]
+    fn delta_equals_full_at_all_parallelism(
+        ops in proptest::collection::vec((0u8..5, 0u32..96, 0u32..96), 8..48),
+        seed in 0u64..200,
+    ) {
+        let batches = batches_from_ops(&ops, 24, 5);
+        if batches.len() < 2 {
+            return;
+        }
+        let split = batches.len() / 2;
+        for parallelism in [1usize, 2, 8] {
+            let (base, current, changed) =
+                base_and_current(&batches, split, parallelism, None, false, seed);
+            assert_delta_equals_full(&base, &current, &changed);
+        }
+    }
+
+    /// `GraphDiff` is layout-blind: interleaving `compact_adjacency`
+    /// anywhere around the diff — on the base, the current graph, or the
+    /// copy being patched — never changes what `between` produces or what
+    /// `apply_to` reconstructs.
+    #[test]
+    fn graph_diff_survives_compaction_interleavings(
+        ops in proptest::collection::vec((0u8..5, 0u32..64, 0u32..64), 4..60),
+        compact_mask in 0u8..8,
+    ) {
+        let (compact_base, compact_current, compact_target) =
+            (compact_mask & 1 != 0, compact_mask & 2 != 0, compact_mask & 4 != 0);
+        let batches = batches_from_ops(&ops, 16, 8);
+        let mut base = DynGraph::with_vertices(16);
+        for batch in batches.iter().take(batches.len() / 2) {
+            batch.apply(&mut base);
+        }
+        let mut current = base.clone();
+        for batch in batches.iter().skip(batches.len() / 2) {
+            batch.apply(&mut current);
+        }
+        if compact_base {
+            base.compact_adjacency();
+        }
+        if compact_current {
+            current.compact_adjacency();
+        }
+        let candidates: Vec<usize> = (0..base.num_vertices()).collect();
+        let diff = GraphDiff::between(&base, &current, &candidates);
+        // The fragmented and compacted base must yield the same diff.
+        let mut fragmented = base.clone();
+        fragmented.compact_adjacency();
+        prop_assert_eq!(&GraphDiff::between(&fragmented, &current, &candidates), &diff);
+        let mut target = base.clone();
+        if compact_target {
+            target.compact_adjacency();
+        }
+        diff.apply_to(&mut target).expect("diff applies to its base");
+        prop_assert_eq!(&target, &current);
+    }
+
+    /// Tombstones: removed vertices stay encoded as dead slots, their ids
+    /// are never reused by later births, and a diff that tries to
+    /// resurrect one is rejected with a typed error.
+    #[test]
+    fn tombstones_round_trip_and_cannot_be_reused(
+        kill_raw in proptest::collection::vec(0u32..16, 1..6),
+        births in 1usize..5,
+    ) {
+        let kill: std::collections::BTreeSet<u32> = kill_raw.into_iter().collect();
+        let mut base = DynGraph::with_vertices(16);
+        for v in 0..15u32 {
+            base.add_edge(v, v + 1);
+        }
+        let mut current = base.clone();
+        for &v in &kill {
+            current.remove_vertex(v);
+        }
+        let target = (0..16u32).find(|v| !kill.contains(v)).expect("a survivor");
+        for _ in 0..births {
+            let v = current.add_vertex();
+            prop_assert!(v as usize >= 16, "ids are never reused");
+            current.add_edge(v, target);
+        }
+        let candidates: Vec<usize> = (0..16).collect();
+        let diff = GraphDiff::between(&base, &current, &candidates);
+        let mut replayed = base.clone();
+        diff.apply_to(&mut replayed).expect("tombstone diff applies");
+        prop_assert_eq!(&replayed, &current);
+        // Resurrecting a tombstone is a typed error, not a panic.
+        let victim = *kill.iter().next().unwrap() as usize;
+        let mut forged = diff.clone();
+        for entry in &mut forged.changed {
+            if entry.slot == victim {
+                entry.alive = true;
+            }
+        }
+        let mut scratch = base.clone();
+        prop_assert!(forged.apply_to(&mut scratch).is_err());
+        prop_assert_eq!(&scratch, &base, "rejected diff must leave the base untouched");
+    }
+}
+
+/// The empty delta: nothing changed between base and current. The diff is
+/// empty, the delta still round-trips, and applying it is the identity.
+#[test]
+fn empty_delta_is_identity() {
+    let ops: Vec<(u8, u32, u32)> = (0..12).map(|i| (1u8, i, i + 3)).collect();
+    let batches = batches_from_ops(&ops, 24, 4);
+    let split = batches.len();
+    let (base, current, changed) = base_and_current(&batches, split, 1, None, false, 11);
+    assert!(changed.is_empty(), "no mutations after the base");
+    let delta = CheckpointDelta::between(&base, &current, &changed, 1, 2).expect("empty delta");
+    assert!(delta.graph.is_empty());
+    assert!(delta.labels.is_empty());
+    assert_delta_equals_full(&base, &current, &changed);
+}
+
+/// A delta applied to the wrong base is a typed error, never a panic or a
+/// silently wrong checkpoint.
+#[test]
+fn delta_rejects_the_wrong_base() {
+    let ops: Vec<(u8, u32, u32)> = (0..40).map(|i: u32| ((i % 4) as u8, i, i * 7)).collect();
+    let batches = batches_from_ops(&ops, 24, 4);
+    let split = batches.len() / 2;
+    assert!(split >= 2, "need room for a one-batch-earlier wrong base");
+    let (base, current, changed) = base_and_current(&batches, split, 1, None, false, 3);
+    let delta = CheckpointDelta::between(&base, &current, &changed, 1, 2).expect("delta");
+    // A base one batch short of the real one: its timeline cannot chain
+    // densely into the delta's suffix, so validation must fire.
+    let (wrong_base, _, _) = base_and_current(&batches, split - 1, 1, None, false, 3);
+    assert!(delta.apply(&wrong_base).is_err());
+}

@@ -247,9 +247,10 @@ fn burst_and_deletion_wave_match_reference() {
 /// The slab rework is layout-only: the persisted snapshot format must not
 /// move as a side effect of an in-memory layout change. Bumping this
 /// constant requires re-blessing the golden fixtures (see
-/// `persist_fixtures.rs`) — v3 is the bounded-checkpoint format (rolling
-/// timeline suffix + digest; an *intentional* bump, re-blessed with it).
+/// `persist_fixtures.rs`) — v4 is the incremental-snapshot format
+/// (delta-encoded checkpoints + chained delta-snapshot files; an
+/// *intentional* bump, re-blessed with it).
 #[test]
 fn wire_format_version_unchanged() {
-    assert_eq!(apg::persist::format::VERSION, 3);
+    assert_eq!(apg::persist::format::VERSION, 4);
 }

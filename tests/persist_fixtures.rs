@@ -104,7 +104,7 @@ fn canonical_checkpoint() -> StreamCheckpoint {
 fn graph_fixture_is_pinned() {
     let g = canonical_graph();
     let bytes = g.to_snapshot_bytes();
-    let golden = fixture("graph_v3.apgg", &bytes);
+    let golden = fixture("graph_v4.apgg", &bytes);
     assert_eq!(
         bytes, golden,
         "graph snapshot encoding drifted from the committed fixture; if \
@@ -121,7 +121,7 @@ fn graph_fixture_is_pinned() {
 fn log_fixture_is_pinned() {
     let log = canonical_log();
     let bytes = log.to_segment_bytes();
-    let golden = fixture("log_v3.apgl", &bytes);
+    let golden = fixture("log_v4.apgl", &bytes);
     assert_eq!(
         bytes, golden,
         "delta-log encoding drifted from the committed fixture; if \
@@ -141,7 +141,7 @@ fn log_fixture_is_pinned() {
 fn checkpoint_fixture_is_pinned() {
     let ckpt = canonical_checkpoint();
     let bytes = ckpt.to_bytes();
-    let golden = fixture("checkpoint_v3.apgc", &bytes);
+    let golden = fixture("checkpoint_v4.apgc", &bytes);
     assert_eq!(
         bytes, golden,
         "checkpoint encoding drifted from the committed fixture; if \
@@ -157,7 +157,7 @@ fn checkpoint_fixture_is_pinned() {
 
 #[test]
 fn fixtures_reject_wrong_magic() {
-    let graph = fixture("graph_v3.apgg", &canonical_graph().to_snapshot_bytes());
+    let graph = fixture("graph_v4.apgg", &canonical_graph().to_snapshot_bytes());
     // A graph file is not a log, a log is not a checkpoint, and so on.
     assert!(matches!(
         DeltaLog::from_segment_bytes(&graph).unwrap_err(),
@@ -185,16 +185,16 @@ fn fixtures_reject_wrong_magic() {
 #[test]
 fn fixtures_reject_future_and_zero_versions() {
     for (name, canonical) in [
-        ("graph_v3.apgg", canonical_graph().to_snapshot_bytes()),
-        ("log_v3.apgl", canonical_log().to_segment_bytes()),
-        ("checkpoint_v3.apgc", canonical_checkpoint().to_bytes()),
+        ("graph_v4.apgg", canonical_graph().to_snapshot_bytes()),
+        ("log_v4.apgl", canonical_log().to_segment_bytes()),
+        ("checkpoint_v4.apgc", canonical_checkpoint().to_bytes()),
     ] {
         let golden = fixture(name, &canonical);
         let mut future = golden.clone();
         future[4..6].copy_from_slice(&(VERSION + 1).to_le_bytes());
         let err = match name {
-            "graph_v3.apgg" => DynGraph::from_snapshot_bytes(&future).unwrap_err(),
-            "log_v3.apgl" => DeltaLog::from_segment_bytes(&future).unwrap_err(),
+            "graph_v4.apgg" => DynGraph::from_snapshot_bytes(&future).unwrap_err(),
+            "log_v4.apgl" => DeltaLog::from_segment_bytes(&future).unwrap_err(),
             _ => StreamCheckpoint::from_bytes(&future).unwrap_err(),
         };
         assert_eq!(
@@ -209,8 +209,8 @@ fn fixtures_reject_future_and_zero_versions() {
         let mut zero = golden.clone();
         zero[4..6].copy_from_slice(&0u16.to_le_bytes());
         let err = match name {
-            "graph_v3.apgg" => DynGraph::from_snapshot_bytes(&zero).unwrap_err(),
-            "log_v3.apgl" => DeltaLog::from_segment_bytes(&zero).unwrap_err(),
+            "graph_v4.apgg" => DynGraph::from_snapshot_bytes(&zero).unwrap_err(),
+            "log_v4.apgl" => DeltaLog::from_segment_bytes(&zero).unwrap_err(),
             _ => StreamCheckpoint::from_bytes(&zero).unwrap_err(),
         };
         assert!(
@@ -223,8 +223,8 @@ fn fixtures_reject_future_and_zero_versions() {
         let mut stale = golden.clone();
         stale[4..6].copy_from_slice(&(VERSION - 1).to_le_bytes());
         let err = match name {
-            "graph_v3.apgg" => DynGraph::from_snapshot_bytes(&stale).unwrap_err(),
-            "log_v3.apgl" => DeltaLog::from_segment_bytes(&stale).unwrap_err(),
+            "graph_v4.apgg" => DynGraph::from_snapshot_bytes(&stale).unwrap_err(),
+            "log_v4.apgl" => DeltaLog::from_segment_bytes(&stale).unwrap_err(),
             _ => StreamCheckpoint::from_bytes(&stale).unwrap_err(),
         };
         assert_eq!(
@@ -238,9 +238,39 @@ fn fixtures_reject_future_and_zero_versions() {
     }
 }
 
+/// The previous-generation fixtures stay committed verbatim: a v4 build
+/// must refuse real v3 bytes with a typed version error (the payload
+/// decoders are not version-aware — v3 had no delta-snapshot chaining —
+/// so feeding them stale bytes would misparse, not fail cleanly).
+#[test]
+fn stale_v3_fixtures_are_rejected() {
+    for (name, found) in [
+        ("graph_v3.apgg", 3u16),
+        ("log_v3.apgl", 3),
+        ("checkpoint_v3.apgc", 3),
+    ] {
+        let stale = std::fs::read(fixture_path(name))
+            .unwrap_or_else(|e| panic!("stale fixture {name} must stay committed: {e}"));
+        assert_eq!(u16::from_le_bytes([stale[4], stale[5]]), found, "{name}");
+        let err = match name {
+            "graph_v3.apgg" => DynGraph::from_snapshot_bytes(&stale).unwrap_err(),
+            "log_v3.apgl" => DeltaLog::from_segment_bytes(&stale).unwrap_err(),
+            _ => StreamCheckpoint::from_bytes(&stale).unwrap_err(),
+        };
+        assert_eq!(
+            err,
+            DecodeError::UnsupportedVersion {
+                found,
+                supported: VERSION
+            },
+            "{name}"
+        );
+    }
+}
+
 #[test]
 fn fixtures_reject_truncation_at_every_boundary() {
-    let golden = fixture("checkpoint_v3.apgc", &canonical_checkpoint().to_bytes());
+    let golden = fixture("checkpoint_v4.apgc", &canonical_checkpoint().to_bytes());
     // Every prefix must fail loudly — EOF or a corruption diagnosis, never
     // a panic and never a silently-partial value.
     for cut in 0..golden.len() {
